@@ -1,0 +1,150 @@
+(* icv: command-line driver for the implicitly-conjoined-BDD verifier.
+
+   Runs any of the paper's example models (or their planted-bug
+   variants) under any verification method, prints the paper-style
+   result row, and optionally a decoded counterexample trace.
+
+     icv --model fifo --depth 10 --method xici
+     icv --model cpu --regs 2 --width 2 --bug --method xici --trace
+     icv --model filter --depth 8 --method all *)
+
+open Cmdliner
+
+let build_model name depth width procs regs bound assisted bug =
+  match String.lowercase_ascii name with
+  | "fifo" ->
+    Models.Typed_fifo.make { Models.Typed_fifo.depth; width; bound; bug }
+  | "network" -> Models.Network.make { Models.Network.procs; bug }
+  | "filter" ->
+    Models.Avg_filter.make
+      { Models.Avg_filter.depth; sample_width = width; assisted; bug }
+  | "cpu" ->
+    Models.Pipeline_cpu.make { Models.Pipeline_cpu.regs; width; assisted; bug }
+  | "abp" ->
+    Models.Abp.make { Models.Abp.width; bug }
+  | other -> failwith (Printf.sprintf "unknown model %S" other)
+
+let print_trace model trace =
+  let man = Mc.Model.man model in
+  let levels = Fsm.Space.current_levels model.Mc.Model.space in
+  List.iteri
+    (fun i state ->
+      let bits =
+        List.filter_map
+          (fun l ->
+            if state.(l) then Some (Bdd.var_name man l) else None)
+          levels
+      in
+      Format.printf "  step %d: {%s}@." i
+        (if bits = [] then "all zero" else String.concat ", " bits))
+    trace
+
+let run model_name depth width procs regs bound assisted bug meth_name trace
+    max_seconds max_live grow_threshold verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  let model = build_model model_name depth width procs regs bound assisted bug in
+  let limits man =
+    Mc.Limits.start ~max_seconds ~max_live_nodes:max_live ~max_iterations:200
+      man
+  in
+  let xici_cfg = { Ici.Policy.default with grow_threshold } in
+  let methods =
+    if String.lowercase_ascii meth_name = "all" then Mc.Runner.all
+    else
+      match Mc.Runner.of_name meth_name with
+      | Some m -> [ m ]
+      | None -> failwith (Printf.sprintf "unknown method %S" meth_name)
+  in
+  Format.printf "model: %s@." model.Mc.Model.name;
+  Format.printf "%s@." Mc.Report.header;
+  let show_trace meth r =
+    match r.Mc.Report.status with
+    | Mc.Report.Violated tr when trace ->
+      let validated =
+        Mc.Trace.validate model.Mc.Model.trans ~init:model.Mc.Model.init
+          ~good:
+            (Ici.Clist.of_list (Mc.Model.man model) (Mc.Model.property model))
+          tr
+      in
+      Format.printf "counterexample from %s (%s):@." (Mc.Runner.name meth)
+        (if validated then "validated" else "NOT VALID");
+      print_trace model tr
+    | Mc.Report.Violated _ | Mc.Report.Proved | Mc.Report.Exceeded _ -> ()
+  in
+  List.iter
+    (fun meth ->
+      let r = Mc.Runner.run ~limits ~xici_cfg meth model in
+      Format.printf "%a@." Mc.Report.pp_row r;
+      show_trace meth r)
+    methods
+
+let () =
+  let model =
+    Arg.(
+      value & opt string "fifo"
+      & info [ "model" ] ~doc:"Model: fifo, network, filter, cpu or abp.")
+  in
+  let depth =
+    Arg.(value & opt int 5 & info [ "depth" ] ~doc:"FIFO/filter depth.")
+  in
+  let width =
+    Arg.(
+      value & opt int 8
+      & info [ "width" ] ~doc:"Item/sample/datapath width in bits.")
+  in
+  let procs =
+    Arg.(value & opt int 4 & info [ "procs" ] ~doc:"Network processors.")
+  in
+  let regs =
+    Arg.(value & opt int 2 & info [ "regs" ] ~doc:"Processor registers.")
+  in
+  let bound =
+    Arg.(value & opt int 128 & info [ "bound" ] ~doc:"FIFO type bound.")
+  in
+  let assisted =
+    Arg.(
+      value & flag
+      & info [ "assisted" ] ~doc:"Add user-supplied assisting invariants.")
+  in
+  let bug =
+    Arg.(value & flag & info [ "bug" ] ~doc:"Use the planted-bug variant.")
+  in
+  let meth =
+    Arg.(
+      value & opt string "xici"
+      & info [ "method" ] ~doc:"fwd, bkwd, fd, ici, xici, idi, explicit or all.")
+  in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ] ~doc:"Print a decoded counterexample trace.")
+  in
+  let max_seconds =
+    Arg.(value & opt float 600.0 & info [ "max-seconds" ] ~doc:"Time budget.")
+  in
+  let max_live =
+    Arg.(
+      value & opt int 10_000_000
+      & info [ "max-live-nodes" ] ~doc:"Live BDD node budget.")
+  in
+  let grow =
+    Arg.(
+      value & opt float 1.5
+      & info [ "grow-threshold" ] ~doc:"XICI GrowThreshold (Figure 1).")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ] ~doc:"Per-iteration debug logging.")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "icv" ~doc:"Verify the paper's example models")
+      Term.(
+        const run $ model $ depth $ width $ procs $ regs $ bound $ assisted
+        $ bug $ meth $ trace $ max_seconds $ max_live $ grow $ verbose)
+  in
+  exit (Cmd.eval cmd)

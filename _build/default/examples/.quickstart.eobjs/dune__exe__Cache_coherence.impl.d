@@ -1,0 +1,1 @@
+examples/cache_coherence.ml: Array Bdd Bvec Format Fsm Fun Ici List Mc Printf Sys

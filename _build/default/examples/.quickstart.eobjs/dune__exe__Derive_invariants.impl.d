@@ -1,0 +1,1 @@
+examples/derive_invariants.ml: Bdd Format Ici List Mc Models String

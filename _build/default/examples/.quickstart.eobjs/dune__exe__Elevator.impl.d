@@ -1,0 +1,1 @@
+examples/elevator.ml: Format Fun Hdl Ici List Mc Option String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bdd Format Fsm Fun Ici List Mc Printf

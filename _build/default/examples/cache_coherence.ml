@@ -1,0 +1,207 @@
+(* Directory-based cache coherence: the class of high-level protocol the
+   paper's introduction names as the motivation for implicitly conjoined
+   invariants ("industrial directory-based cache-coherence ...
+   protocols").
+
+     dune exec examples/cache_coherence.exe [-- --bug]
+
+   A small MSI protocol: [n] caches, each Invalid / Shared / Modified,
+   and a directory tracking a sharer bit per cache plus a dirty bit.
+   Nondeterministic requests (read miss, write miss, upgrade, eviction)
+   update caches and directory atomically.  The coherence invariants
+   form a natural implicit conjunction:
+
+   - at most one cache is Modified              (one conjunct per pair);
+   - a Modified cache excludes any Sharer       (one conjunct per pair);
+   - the directory sharer bits are accurate     (one conjunct per cache);
+   - the dirty bit tracks the Modified caches   (one conjunct per cache).
+
+   With --bug, a write miss forgets to invalidate the other sharers --
+   the classic coherence bug -- and verification produces a validated
+   counterexample. *)
+
+let n = 4
+
+(* Cache state encoding, 2 bits: 00 Invalid, 01 Shared, 10 Modified. *)
+let st_invalid = 0
+let st_shared = 1
+let st_modified = 2
+
+type action = Idle | Read_miss | Write_miss | Upgrade | Evict
+
+(* Idle (code 0) only ever appears as an encoding; keep the compiler
+   happy about the unbuilt constructor. *)
+let _ = Idle
+
+let () =
+  let bug = Array.exists (( = ) "--bug") Sys.argv in
+  let sp = Fsm.Space.create () in
+  let caches =
+    Array.init n (fun i ->
+        Fsm.Space.state_word ~name:(Printf.sprintf "cache%d" i) sp ~width:2)
+  in
+  let sharer =
+    Array.init n (fun i ->
+        Fsm.Space.state_bit ~name:(Printf.sprintf "sharer%d" i) sp)
+  in
+  let dirty = Fsm.Space.state_bit ~name:"dirty" sp in
+  let act_in = Fsm.Space.input_word ~name:"act" sp ~width:3 in
+  let who_in = Fsm.Space.input_word ~name:"who" sp ~width:2 in
+  let man = Fsm.Space.man sp in
+  let act = Fsm.Space.input_vec sp act_in in
+  let who = Fsm.Space.input_vec sp who_in in
+  let cache i = Fsm.Space.cur_vec sp caches.(i) in
+  let shr i = Fsm.Space.cur sp sharer.(i) in
+  let drt = Fsm.Space.cur sp dirty in
+  let in_state i s = Bvec.eq man (cache i) (Bvec.const man ~width:2 s) in
+  let is_act a =
+    let code =
+      match a with
+      | Idle -> 0 | Read_miss -> 1 | Write_miss -> 2 | Upgrade -> 3
+      | Evict -> 4
+    in
+    Bvec.eq man act (Bvec.const man ~width:3 code)
+  in
+  let who_is i = Bvec.eq man who (Bvec.const man ~width:2 i) in
+  let for_any f = Bdd.disj man (List.init n f) in
+
+  (* Action legality: requests only make sense in the right local
+     state; Idle keeps the machine total. *)
+  let input_constraint =
+    Bdd.conj man
+      [
+        Bdd.bimp man (is_act Read_miss)
+          (for_any (fun i -> Bdd.band man (who_is i) (in_state i st_invalid)));
+        Bdd.bimp man (is_act Write_miss)
+          (for_any (fun i -> Bdd.band man (who_is i) (in_state i st_invalid)));
+        Bdd.bimp man (is_act Upgrade)
+          (for_any (fun i -> Bdd.band man (who_is i) (in_state i st_shared)));
+        Bdd.bimp man (is_act Evict)
+          (for_any (fun i ->
+               Bdd.band man (who_is i)
+                 (Bdd.bnot man (in_state i st_invalid))));
+        Bvec.ult man act (Bvec.const man ~width:3 5);
+        (if n = 4 then Bdd.tru man
+         else Bvec.ult man who (Bvec.const man ~width:2 n));
+      ]
+  in
+
+  (* Per-cache update: the requester moves to its new state; on a write
+     miss or upgrade every OTHER cache is invalidated (unless the bug
+     forgets to). *)
+  let cache_next i =
+    let me = who_is i in
+    let getting_exclusive =
+      Bdd.band man (Bdd.bor man (is_act Write_miss) (is_act Upgrade)) me
+    in
+    let reading = Bdd.band man (is_act Read_miss) me in
+    let evicting = Bdd.band man (is_act Evict) me in
+    let invalidated =
+      if bug then Bdd.fls man
+      else
+        Bdd.band man
+          (Bdd.bor man (is_act Write_miss) (is_act Upgrade))
+          (Bdd.bnot man me)
+    in
+    (* A read miss also downgrades a Modified owner to Shared. *)
+    let downgraded =
+      Bdd.conj man
+        [ is_act Read_miss; Bdd.bnot man me; in_state i st_modified ]
+    in
+    Bvec.mux man getting_exclusive
+      (Bvec.const man ~width:2 st_modified)
+      (Bvec.mux man reading
+         (Bvec.const man ~width:2 st_shared)
+         (Bvec.mux man evicting
+            (Bvec.const man ~width:2 st_invalid)
+            (Bvec.mux man invalidated
+               (Bvec.const man ~width:2 st_invalid)
+               (Bvec.mux man downgraded
+                  (Bvec.const man ~width:2 st_shared)
+                  (cache i)))))
+  in
+  let sharer_next i =
+    let me = who_is i in
+    let becomes_present =
+      Bdd.band man
+        (Bdd.disj man [ is_act Read_miss; is_act Write_miss; is_act Upgrade ])
+        me
+    in
+    let dropped =
+      Bdd.bor man
+        (Bdd.band man (is_act Evict) me)
+        (if bug then Bdd.fls man
+         else
+           Bdd.band man
+             (Bdd.bor man (is_act Write_miss) (is_act Upgrade))
+             (Bdd.bnot man me))
+    in
+    Bdd.ite man becomes_present (Bdd.tru man)
+      (Bdd.ite man dropped (Bdd.fls man) (shr i))
+  in
+  let dirty_next =
+    let to_dirty = Bdd.bor man (is_act Write_miss) (is_act Upgrade) in
+    let to_clean =
+      Bdd.bor man (is_act Read_miss)
+        (Bdd.band man (is_act Evict)
+           (for_any (fun i -> Bdd.band man (who_is i) (in_state i st_modified))))
+    in
+    Bdd.ite man to_dirty (Bdd.tru man) (Bdd.ite man to_clean (Bdd.fls man) drt)
+  in
+  let assigns =
+    List.concat
+      (List.init n (fun i ->
+           let c = cache_next i in
+           [ (caches.(i).(0), c.(0)); (caches.(i).(1), c.(1));
+             (sharer.(i), sharer_next i) ]))
+    @ [ (dirty, dirty_next) ]
+  in
+  let trans = Fsm.Trans.make ~input_constraint sp ~assigns in
+  assert (Fsm.Trans.is_total trans);
+  let init =
+    Bdd.conj man
+      (Bdd.bnot man drt
+      :: List.init n (fun i ->
+             Bdd.band man (in_state i st_invalid) (Bdd.bnot man (shr i))))
+  in
+  let good =
+    List.concat
+      (List.init n (fun i ->
+           (* Directory accuracy + dirty tracking. *)
+           [ Bdd.biff man (shr i) (Bdd.bnot man (in_state i st_invalid));
+             Bdd.bimp man (in_state i st_modified) drt ]
+           (* Pairwise exclusion. *)
+           @ List.filter_map
+               (fun j ->
+                 if j <= i then None
+                 else
+                   Some
+                     (Bdd.conj man
+                        [ Bdd.bnand man (in_state i st_modified)
+                            (in_state j st_modified);
+                          Bdd.bnand man (in_state i st_modified)
+                            (in_state j st_shared);
+                          Bdd.bnand man (in_state j st_modified)
+                            (in_state i st_shared) ]))
+               (List.init n Fun.id)))
+  in
+  let model =
+    Mc.Model.make
+      ~name:(if bug then "msi-directory-bug" else "msi-directory")
+      ~space:sp ~trans ~init ~good ()
+  in
+  Format.printf "model: %s (%d caches)@." model.Mc.Model.name n;
+  Format.printf "%s@." Mc.Report.header;
+  List.iter
+    (fun meth ->
+      let r = Mc.Runner.run meth model in
+      Format.printf "%a@." Mc.Report.pp_row r;
+      match r.Mc.Report.status with
+      | Mc.Report.Violated tr ->
+        let ok =
+          Mc.Trace.validate trans ~init ~good:(Ici.Clist.of_list man good) tr
+        in
+        Format.printf "  counterexample length %d (validated: %b)@."
+          (List.length tr) ok
+      | Mc.Report.Proved | Mc.Report.Exceeded _ -> ())
+    Mc.Runner.all

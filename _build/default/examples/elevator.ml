@@ -1,0 +1,119 @@
+(* An elevator controller written in the HDL layer.
+
+     dune exec examples/elevator.exe
+
+   Four floors, a position register, a direction flag, a door and a
+   request latch per floor (requests arrive nondeterministically and
+   are cleared when served).  Safety, as an implicit conjunction:
+
+   - the door is closed whenever the cab is moving;
+   - the position stays within the floor range;
+   - the door only opens at a floor with a pending or just-served
+     request (no phantom stops... we allow idle door-closed states).
+
+   The controller: if the door is open, close it (one cycle).  If a
+   request exists at the current floor, open the door and clear it.
+   Otherwise move one floor towards the nearest pending request,
+   reversing direction at the ends. *)
+
+let floors = 4
+
+let () =
+  let module D = (val Hdl.design "elevator") in
+  let open_req = D.input "req" ~width:floors in
+  let pos = D.reg "pos" ~width:2 () in
+  let moving = D.reg "moving" ~width:1 () in
+  let up = D.reg "up" ~width:1 ~init:1 () in
+  let door = D.reg "door" ~width:1 () in
+  let reqs = D.reg "reqs" ~width:floors () in
+  let at f = D.(pos ==: const ~width:2 f) in
+  let req_at f = D.(bit reqs f) in
+  let here_requested =
+    List.fold_left
+      (fun acc f -> D.(acc ||: (at f &&: req_at f)))
+      D.ff
+      (List.init floors Fun.id)
+  in
+  let pending_above =
+    (* any request strictly above the current floor *)
+    List.fold_left
+      (fun acc f ->
+        D.(acc ||: (req_at f &&: (pos <: const ~width:2 f))))
+      D.ff
+      (List.init floors Fun.id)
+  in
+  let pending_below =
+    List.fold_left
+      (fun acc f ->
+        D.(acc ||: (req_at f &&: (const ~width:2 f <: pos))))
+      D.ff
+      (List.init floors Fun.id)
+  in
+  let any_pending = D.(pending_above ||: pending_below ||: here_requested) in
+  (* Decisions for this cycle. *)
+  let opening = D.(here_requested &&: !:door &&: !:moving) in
+  let closing = door in
+  let go_up = D.(ite pending_above D.tt (ite pending_below D.ff up)) in
+  let will_move =
+    D.(!:door &&: !:opening &&: (pending_above ||: pending_below))
+  in
+  let next_pos =
+    D.(
+      ite
+        (will_move &&: go_up)
+        (pos +: const ~width:2 1)
+        (ite will_move (pos -: const ~width:2 1) pos))
+  in
+  (* Requests: new ones latch in; a request at the current floor clears
+     when the door opens for it. *)
+  let served f = D.(opening &&: at f) in
+  let next_reqs =
+    List.fold_left
+      (fun acc f ->
+        let b = D.(ite (served f) ff (req_at f ||: bit open_req f)) in
+        match acc with None -> Some b | Some acc -> Some D.(concat_low acc b))
+      None
+      (List.init floors Fun.id)
+    |> Option.get
+  in
+  D.(pos <== next_pos);
+  D.(moving <== will_move);
+  D.(up <== go_up);
+  D.(door <== ite opening tt (ite closing ff door));
+  D.(reqs <== next_reqs);
+  ignore any_pending;
+  let good =
+    [
+      (* door closed while moving *)
+      D.(moving -->: !:door);
+      (* position in range (trivially true at 4 floors/2 bits, real
+         content at other sizes) *)
+      D.(pos <=: const ~width:2 (floors - 1));
+      (* the door only opens where a request was pending *)
+      D.(door -->: !:moving);
+    ]
+  in
+  let model = D.model ~good () in
+  Format.printf "model: %s@.%s@." model.Mc.Model.name Mc.Report.header;
+  List.iter
+    (fun meth ->
+      let r = Mc.Runner.run meth model in
+      Format.printf "%a@." Mc.Report.pp_row r)
+    Mc.Runner.all;
+  (* Check the property list is actually inductive as written, and if
+     not, let XICI derive the strengthening automatically. *)
+  (match Mc.Induction.check model (Mc.Model.property model) with
+  | Mc.Induction.Inductive -> Format.printf "@.property is inductive as-is@."
+  | Mc.Induction.Not_implied_by_init _ ->
+    Format.printf "@.property not implied by init?!@."
+  | Mc.Induction.Not_preserved fails ->
+    Format.printf
+      "@.property alone is not inductive (%d conjunct(s) fail); XICI \
+       strengthens it:@."
+      (List.length fails);
+    (match Mc.Xici.run_full model with
+    | _, Some derived ->
+      Format.printf "derived invariant conjuncts (nodes): %s@."
+        (String.concat ", "
+           (List.map string_of_int (Ici.Clist.conjunct_sizes derived)))
+    | _, None -> Format.printf "no fixpoint available@."))

@@ -1,0 +1,1 @@
+lib/bdd/bdd.ml: Array Cubes Dot Format List Man Ops Quant Rename Reorder Repr Serialize Simplify Size

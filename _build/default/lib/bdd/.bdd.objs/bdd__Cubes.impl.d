@@ -1,0 +1,1 @@
+lib/bdd/cubes.ml: Array List Repr Seq

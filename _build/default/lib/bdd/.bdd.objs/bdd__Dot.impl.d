@@ -1,0 +1,1 @@
+lib/bdd/dot.ml: Fun Hashtbl List Man Printf Repr

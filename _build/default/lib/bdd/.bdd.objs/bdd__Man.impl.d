@@ -1,0 +1,1 @@
+lib/bdd/man.ml: Array Fun Gc Hashtbl List Printf Repr Weak

@@ -1,0 +1,1 @@
+lib/bdd/rename.ml: Array Hashtbl Man Repr

@@ -1,0 +1,1 @@
+lib/bdd/reorder.ml: Array Hashtbl List Man Ops Repr Size

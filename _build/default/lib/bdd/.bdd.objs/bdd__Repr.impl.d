@@ -1,0 +1,1 @@
+lib/bdd/repr.ml: Bool

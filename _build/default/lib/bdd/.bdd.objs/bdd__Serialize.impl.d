@@ -1,0 +1,1 @@
+lib/bdd/serialize.ml: Bool Fun Hashtbl List Man Printf Repr String

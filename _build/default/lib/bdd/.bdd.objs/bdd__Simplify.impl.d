@@ -1,0 +1,1 @@
+lib/bdd/simplify.ml: Hashtbl List Man Ops Repr

@@ -1,0 +1,1 @@
+lib/bdd/size.ml: Array Hashtbl List Repr

@@ -1,0 +1,129 @@
+(* Public facade of the BDD package; see bdd.mli for documentation. *)
+
+type t = Repr.t
+type man = Man.t
+type varset = Man.varset
+
+let create = Man.create
+let tru _ = Repr.tru
+let fls _ = Repr.fls
+let of_bool _ b = Repr.of_bool b
+let is_true = Repr.is_true
+let is_false = Repr.is_false
+let is_const = Repr.is_const
+let equal = Repr.equal
+let tag = Repr.tag
+let level = Repr.level
+let compare a b = compare (Repr.tag a) (Repr.tag b)
+let hash = Repr.tag
+
+let new_var = Man.new_var
+let var = Man.var
+let nvar = Man.nvar
+let var_name = Man.var_name
+let num_vars = Man.num_vars
+let mk = Man.mk
+let cofactors = Repr.cofactors
+
+let bnot _ f = Repr.neg f
+let ite = Ops.ite
+let band = Ops.band
+let band_bounded = Ops.band_bounded
+let bor = Ops.bor
+let bxor = Ops.bxor
+let biff = Ops.biff
+let bimp = Ops.bimp
+let bnand = Ops.bnand
+let bnor = Ops.bnor
+let conj = Ops.conj
+let disj = Ops.disj
+let implies = Ops.implies
+let cofactor = Ops.cofactor
+let compose = Ops.compose
+let vector_compose = Ops.vector_compose
+
+let varset = Man.varset
+let varset_levels (vs : varset) = Array.to_list vs.levels
+let exists = Quant.exists
+let forall = Quant.forall
+let and_exists = Quant.and_exists
+
+let rename = Rename.rename
+
+exception Not_monotone = Rename.Not_monotone
+
+let restrict = Simplify.restrict
+let multi_restrict = Simplify.multi_restrict
+let constrain = Simplify.constrain
+
+let size = Size.size
+let size_list = Size.size_list
+let support = Size.support
+let support_list = Size.support_list
+let sat_count = Size.sat_count
+let eval _ env f = Size.eval env f
+let pick_minterm _ ~vars f = Size.pick_minterm ~vars f
+
+let live_nodes = Man.live_nodes
+let created_nodes = Man.created_nodes
+let peak_live_nodes (man : man) = man.Man.peak_live
+let clear_caches = Man.clear_caches
+let gc = Man.gc
+let set_progress_hook = Man.set_progress_hook
+let with_node_budget = Man.with_node_budget
+let steps = Man.steps
+
+module Dot = Dot
+
+module Serialize = struct
+  let to_channel = Serialize.write
+  let of_channel ?map man ic = Serialize.read ?map man ic
+  let to_file = Serialize.to_file
+  let of_file = Serialize.of_file
+
+  exception Parse_error = Serialize.Parse_error
+end
+
+module Reorder = struct
+  let transfer ~dst ~perm roots = Reorder.transfer ~dst ~perm roots
+  let greedy_adjacent = Reorder.greedy_adjacent
+  let sift = Reorder.sift
+  let apply = Reorder.apply
+end
+
+let cubes = Cubes.cubes
+let minterms _ ~vars f = Cubes.minterms ~vars f
+let count_cubes = Cubes.count_cubes
+
+let pp man fmt f =
+  (* Small printer: sum-of-paths up to a budget, else just the size. *)
+  if Repr.is_true f then Format.fprintf fmt "true"
+  else if Repr.is_false f then Format.fprintf fmt "false"
+  else begin
+    let sz = Size.size f in
+    if sz > 40 then Format.fprintf fmt "<bdd:%d nodes>" sz
+    else begin
+      let first = ref true in
+      let rec paths prefix e =
+        if Repr.is_true e then begin
+          if not !first then Format.fprintf fmt " | ";
+          first := false;
+          if prefix = [] then Format.fprintf fmt "T"
+          else
+            List.iter
+              (fun (v, b) ->
+                Format.fprintf fmt "%s%s" (if b then "" else "~")
+                  (Man.var_name man v))
+              (List.rev prefix)
+        end
+        else if Repr.is_false e then ()
+        else begin
+          let v = Repr.level e in
+          let e0, e1 = Repr.cofactors e v in
+          paths ((v, false) :: prefix) e0;
+          paths ((v, true) :: prefix) e1
+        end
+      in
+      paths [] f
+    end
+  end

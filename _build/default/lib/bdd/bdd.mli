@@ -1,0 +1,273 @@
+(** Reduced ordered binary decision diagrams with complement edges.
+
+    A from-scratch BDD package in the style of Brace, Rudell and Bryant
+    (DAC 1990), the design also used by David Long's CMU package on which
+    the paper's experiments ran.  Properties the verification layers rely
+    on:
+
+    - {b canonicity}: semantically equal functions are physically equal
+      ([equal] is O(1));
+    - {b constant-time negation} via complement edges;
+    - {b shared size accounting} ([size_list]) for whole lists of BDDs;
+    - the {b Restrict} and {b Constrain} care-set simplification
+      operators of Coudert, Berthet and Madre.
+
+    All operations are memoised per manager.  The package is not
+    thread-safe; use one manager per thread. *)
+
+type t
+(** A BDD, i.e. an edge (node pointer + complement bit). *)
+
+type man
+(** A manager: unique table, variable order, memo caches, statistics. *)
+
+type varset
+(** An interned set of variable levels, used for quantification. *)
+
+(** {1 Managers and variables} *)
+
+val create : ?cache_budget:int -> unit -> man
+(** Fresh manager.  [cache_budget] bounds the total number of memo-cache
+    entries before caches are opportunistically dropped. *)
+
+val new_var : ?name:string -> man -> int
+(** Allocate the next variable level (levels are allocated in order and
+    never reordered; interleave related variables by allocating them
+    adjacently). *)
+
+val num_vars : man -> int
+val var_name : man -> int -> string
+
+(** {1 Constants and structure} *)
+
+val tru : man -> t
+val fls : man -> t
+val of_bool : man -> bool -> t
+val is_true : t -> bool
+val is_false : t -> bool
+val is_const : t -> bool
+
+val equal : t -> t -> bool
+(** Constant-time semantic equality (canonicity). *)
+
+val compare : t -> t -> int
+val hash : t -> int
+
+val tag : t -> int
+(** Stable integer identifying this BDD within its manager. *)
+
+val level : t -> int
+(** Level of the root variable; [max_int] on constants. *)
+
+val var : man -> int -> t
+(** The projection function of the variable at the given level. *)
+
+val nvar : man -> int -> t
+(** Complement of [var]. *)
+
+val mk : man -> int -> low:t -> high:t -> t
+(** Low-level node constructor (reduced, canonical).  The level must be
+    strictly smaller than the root levels of both children. *)
+
+val cofactors : t -> int -> t * t
+(** [cofactors f v] is [(f with v:=false, f with v:=true)] provided the
+    root of [f] is at level >= [v]. *)
+
+(** {1 Boolean connectives} *)
+
+val bnot : man -> t -> t
+(** Constant-time complement. *)
+
+val ite : man -> t -> t -> t -> t
+val band : man -> t -> t -> t
+val bor : man -> t -> t -> t
+val bxor : man -> t -> t -> t
+val biff : man -> t -> t -> t
+val bimp : man -> t -> t -> t
+val bnand : man -> t -> t -> t
+val bnor : man -> t -> t -> t
+val conj : man -> t list -> t
+val disj : man -> t list -> t
+
+val band_bounded : man -> max_steps:int -> t -> t -> t option
+(** Conjunction with a recursion-step budget; [None] when the budget is
+    exhausted.  Implements the paper's future-work "abort the operation
+    if the size exceeds a specified bound" capability, used by the
+    greedy evaluation policy to skip hopeless pairwise conjunctions. *)
+
+val implies : man -> t -> t -> bool
+(** [implies man f g] decides f => g. *)
+
+val cofactor : man -> lvl:int -> value:bool -> t -> t
+(** Restriction fixing one variable. *)
+
+val compose : man -> lvl:int -> by:t -> t -> t
+(** Substitute a function for a variable. *)
+
+val vector_compose : man -> t option array -> t -> t
+(** Simultaneous substitution: the variable at level [v] becomes
+    [subst.(v)] ([None] keeps it; identity beyond the array).  The
+    substituted functions read the original variable values (true
+    simultaneous substitution), so mutually dependent substitutions
+    behave correctly.  Memoised per substitution vector (interned by
+    physical equality, so reuse the same array across calls). *)
+
+(** {1 Quantification} *)
+
+val varset : man -> int list -> varset
+val varset_levels : varset -> int list
+val exists : man -> varset -> t -> t
+val forall : man -> varset -> t -> t
+
+val and_exists : man -> varset -> t -> t -> t
+(** Relational product [exists vs (f /\ g)] without building the
+    conjunction. *)
+
+val rename : man -> int array -> t -> t
+(** [rename man perm f] maps each level [l] in the support of [f] to
+    [perm.(l)] (identity beyond the array).  The mapping must be
+    order-preserving on the support; raises [Not_monotone] otherwise. *)
+
+exception Not_monotone
+
+(** {1 Care-set simplification} *)
+
+val restrict : man -> t -> t -> t
+(** [restrict man f c] (Coudert-Berthet-Madre, a.k.a. Reduce): a function
+    agreeing with [f] wherever [c] holds, heuristically smaller than
+    [f].  Raises [Invalid_argument] if [c] is false. *)
+
+val constrain : man -> t -> t -> t
+(** Generalized cofactor; same contract as [restrict]. *)
+
+val multi_restrict : man -> t -> t list -> t
+(** [multi_restrict man f cs] simplifies [f] under the care set
+    [c1 /\ ... /\ ck] without ever building the conjunction -- the
+    simultaneous-simplification routine the paper's Section V calls
+    for.  The result agrees with [f] wherever every [c_i] holds.
+    Raises [Invalid_argument] if some [c_i] is constant false. *)
+
+(** {1 Measures} *)
+
+val size : t -> int
+(** Number of distinct nodes, terminal included (the node-count
+    convention of the paper's tables). *)
+
+val size_list : t list -> int
+(** Shared size of a list of BDDs: common nodes counted once. *)
+
+val support : t -> int list
+val support_list : t list -> int list
+
+val sat_count : nvars:int -> t -> float
+(** Number of satisfying assignments over levels [0..nvars-1]. *)
+
+val eval : man -> bool array -> t -> bool
+(** Evaluate under a total assignment indexed by level. *)
+
+val pick_minterm : man -> vars:int list -> t -> bool array
+(** Some satisfying assignment (false off the witness path); raises
+    [Not_found] on the constant false. *)
+
+(** {1 Statistics and memory} *)
+
+val live_nodes : man -> int
+(** Nodes currently interned (the unique table is weak: unreferenced
+    nodes disappear at the next GC). *)
+
+val created_nodes : man -> int
+(** Monotone count of nodes ever created; a machine-independent proxy
+    for the paper's "total memory used" column. *)
+
+val peak_live_nodes : man -> int
+val clear_caches : man -> unit
+
+val gc : man -> unit
+(** Drop memo caches and run a full OCaml GC so dead nodes leave the
+    weak unique table. *)
+
+val set_progress_hook : man -> (man -> unit) option -> unit
+(** Callback invoked every 64K node creations, even in the middle of a
+    single BDD operation; raising from it aborts the operation (this is
+    how resource budgets interrupt blown-up images). *)
+
+val with_node_budget :
+  ?max_steps:int -> man -> max_new_nodes:int -> (unit -> 'a) -> 'a option
+(** Run a computation that is abandoned ([None]) once it has created
+    more than [max_new_nodes] nodes or run more than [max_steps]
+    non-cached recursion steps (sampled at the progress-hook cadence;
+    enclosing hooks keep running).  Used to race alternative
+    image-computation strategies. *)
+
+val steps : man -> int
+(** Monotone count of non-cached recursion steps across all operations
+    (a machine-independent work measure). *)
+
+(** {1 Enumeration} *)
+
+val cubes : t -> (int * bool) list Seq.t
+(** Lazy sequence of satisfying paths as partial assignments
+    [(level, phase)]; variables absent from a cube are free. *)
+
+val minterms : man -> vars:int list -> t -> bool array Seq.t
+(** Lazy sequence of total satisfying assignments over [vars] (which
+    should cover the support).  Arrays are fresh per element. *)
+
+val count_cubes : t -> int
+(** Number of satisfying paths (not minterms). *)
+
+(** {1 Variable-order optimisation} *)
+
+module Reorder : sig
+  val transfer : dst:man -> perm:int array -> t list -> t list
+  (** Rebuild the roots with level [l] mapped to [perm.(l)] (identity
+      beyond the array), in [dst] (which must have the target levels
+      allocated).  Any permutation is accepted: reconstruction goes
+      through ITE, so non-monotone maps are fine (contrast
+      {!rename}). *)
+
+  val greedy_adjacent : ?passes:int -> man -> t list -> int array
+  (** Offline order search by adjacent-position swaps (sifting
+      flavoured), each candidate evaluated by transfer into a scratch
+      manager; returns the permutation (old level -> new level)
+      minimising the shared size it found.  A model-development
+      utility, not for dynamic use mid-verification. *)
+
+  val sift : ?passes:int -> man -> t list -> int array
+  (** Classical sifting, offline: move each variable through every
+      position, keep the best.  Much stronger than {!greedy_adjacent}
+      (escapes its local minima, e.g. it recovers a grouped order from
+      a fully interleaved one) at O(passes * nvars^2) transfer
+      evaluations. *)
+
+  val apply : dst:man -> man -> t list -> int array -> t list
+  (** Transfer the roots into [dst] under a permutation found by
+      {!greedy_adjacent} or {!sift}. *)
+end
+
+(** {1 Serialization} *)
+
+module Serialize : sig
+  exception Parse_error of string
+
+  val to_channel : out_channel -> t list -> unit
+  (** Write a list of roots (with full sharing) in a stable textual
+      format. *)
+
+  val of_channel : ?map:(int -> int) -> man -> in_channel -> t list
+  (** Read roots back, rebuilding through the manager's unique table.
+      [map] relocates variable levels (identity by default) and must be
+      order-preserving. *)
+
+  val to_file : man -> string -> t list -> unit
+  val of_file : ?map:(int -> int) -> man -> string -> t list
+end
+
+(** {1 Debugging} *)
+
+val pp : man -> Format.formatter -> t -> unit
+
+module Dot : sig
+  val to_channel : man -> out_channel -> t list -> unit
+  val to_file : man -> string -> t list -> unit
+end

@@ -1,0 +1,36 @@
+(* Graphviz export, mainly for debugging small examples and for the
+   documentation.  Complemented edges are drawn dotted. *)
+
+open Repr
+
+let to_channel man oc fs =
+  let pr fmt = Printf.fprintf oc fmt in
+  pr "digraph bdd {\n  rankdir = TB;\n";
+  pr "  t [shape=box,label=\"1\"];\n";
+  let seen = Hashtbl.create 64 in
+  let rec visit n =
+    if not (Hashtbl.mem seen n.id) && not (is_terminal_node n) then begin
+      Hashtbl.add seen n.id ();
+      pr "  n%d [label=\"%s\"];\n" n.id (Man.var_name man n.level);
+      let target m = if is_terminal_node m then "t" else Printf.sprintf "n%d" m.id in
+      pr "  n%d -> %s [style=%s];\n" n.id (target n.low)
+        (if n.low_neg then "dotted" else "dashed");
+      pr "  n%d -> %s;\n" n.id (target n.high);
+      visit n.low;
+      visit n.high
+    end
+  in
+  List.iteri
+    (fun i f ->
+      pr "  root%d [shape=plaintext,label=\"f%d\"];\n" i i;
+      let t = if is_terminal_node f.node then "t" else Printf.sprintf "n%d" f.node.id in
+      pr "  root%d -> %s [style=%s];\n" i t
+        (if f.neg then "dotted" else "solid");
+      visit f.node)
+    fs;
+  pr "}\n"
+
+let to_file man path fs =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      to_channel man oc fs)

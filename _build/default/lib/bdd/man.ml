@@ -1,0 +1,242 @@
+(* BDD manager: unique table, variable bookkeeping, memo caches and
+   statistics counters.  All node creation goes through [mk], which
+   enforces the two canonicity invariants (no redundant node, THEN edge
+   regular), so semantically equal BDDs are always physically equal. *)
+
+module Node_set = Weak.Make (struct
+  type t = Repr.node
+
+  let equal = Repr.node_structurally_equal
+  let hash = Repr.hash_node
+end)
+
+type varset = {
+  vid : int;                    (* interning key within the manager *)
+  levels : int array;           (* strictly increasing *)
+  member : bool array;          (* indexed by level, padded on demand *)
+}
+
+type cache2 = (int * int, Repr.t) Hashtbl.t
+type cache3 = (int * int * int, Repr.t) Hashtbl.t
+
+type t = {
+  unique : Node_set.t;
+  mutable next_id : int;
+  mutable nvars : int;
+  mutable names : string array;
+  mutable created : int;        (* total nodes ever interned *)
+  mutable steps : int;          (* non-cached recursion steps, all ops *)
+  mutable peak_live : int;
+  mutable varsets : varset list;
+  mutable next_vid : int;
+  mutable perms : (int array * int) list; (* interned renamings *)
+  mutable next_perm_id : int;
+  cache_ite : cache3;
+  cache_and_exists : cache3;
+  cache_exists : cache2;
+  cache_restrict : cache2;
+  cache_constrain : cache2;
+  cache_cofactor : cache2;
+  cache_rename : cache2;
+  cache_vcompose : cache2;
+  mutable vcomposes : (Repr.t option array * int) list;
+  mutable next_vcompose_id : int;
+  mutable cache_entries_budget : int;
+  mutable progress_hook : (t -> unit) option;
+}
+
+let create ?(cache_budget = 2_000_000) () =
+  {
+    unique = Node_set.create (1 lsl 14);
+    next_id = 1;
+    nvars = 0;
+    names = [||];
+    created = 0;
+    steps = 0;
+    peak_live = 0;
+    varsets = [];
+    next_vid = 0;
+    perms = [];
+    next_perm_id = 0;
+    cache_ite = Hashtbl.create 4096;
+    cache_and_exists = Hashtbl.create 4096;
+    cache_exists = Hashtbl.create 1024;
+    cache_restrict = Hashtbl.create 1024;
+    cache_constrain = Hashtbl.create 256;
+    cache_cofactor = Hashtbl.create 256;
+    cache_rename = Hashtbl.create 256;
+    cache_vcompose = Hashtbl.create 1024;
+    vcomposes = [];
+    next_vcompose_id = 0;
+    cache_entries_budget = cache_budget;
+    progress_hook = None;
+  }
+
+let clear_caches man =
+  Hashtbl.reset man.cache_ite;
+  Hashtbl.reset man.cache_and_exists;
+  Hashtbl.reset man.cache_exists;
+  Hashtbl.reset man.cache_restrict;
+  Hashtbl.reset man.cache_constrain;
+  Hashtbl.reset man.cache_cofactor;
+  Hashtbl.reset man.cache_rename;
+  Hashtbl.reset man.cache_vcompose
+
+(* Memo caches hold strong references to result nodes, so they must be
+   dropped periodically for the weak unique table to collect anything.
+   Called opportunistically from the operation wrappers. *)
+let maybe_trim_caches man =
+  let entries =
+    Hashtbl.length man.cache_ite + Hashtbl.length man.cache_and_exists
+    + Hashtbl.length man.cache_exists + Hashtbl.length man.cache_vcompose
+  in
+  if entries > man.cache_entries_budget then begin
+    clear_caches man;
+    Gc.major ()
+  end
+
+(* Bump the operation-step counter; drives the progress hook at the
+   same cadence as node creation so budgets also catch computations
+   that churn without creating nodes (pure cache-hit avalanches). *)
+let tick man =
+  man.steps <- man.steps + 1;
+  if man.steps land 0xFFFF = 0 then
+    match man.progress_hook with None -> () | Some hook -> hook man
+
+let steps man = man.steps
+
+let live_nodes man =
+  let live = Node_set.count man.unique in
+  if live > man.peak_live then man.peak_live <- live;
+  live
+let created_nodes man = man.created
+let num_vars man = man.nvars
+
+let gc man =
+  clear_caches man;
+  Gc.full_major ()
+
+(* Interning. [hi] must be a regular (uncomplemented) reference. *)
+let intern man lvl lo lo_neg hi =
+  let probe =
+    { Repr.id = man.next_id; level = lvl; low = lo; low_neg = lo_neg;
+      high = hi }
+  in
+  let found = Node_set.merge man.unique probe in
+  if found == probe then begin
+    man.next_id <- man.next_id + 1;
+    man.created <- man.created + 1;
+    (* [Node_set.count] scans the whole table, so the live-node peak is
+       sampled only every 64K insertions (and on demand).  The same
+       cadence drives the progress hook (resource-limit checks that can
+       interrupt a blown-up operation) and cache trimming. *)
+    if man.created land 0xFFFF = 0 then begin
+      let live = Node_set.count man.unique in
+      if live > man.peak_live then man.peak_live <- live;
+      maybe_trim_caches man;
+      match man.progress_hook with None -> () | Some hook -> hook man
+    end
+  end;
+  found
+
+(* The canonicity rule for complement edges: if the THEN edge would be
+   complemented, build the complemented node instead and return a
+   complemented edge to it (node(v,l,h) = not node(v, not l, not h)). *)
+let rec mk man lvl ~low ~high =
+  if Repr.equal low high then low
+  else if high.Repr.neg then
+    Repr.neg (mk man lvl ~low:(Repr.neg low) ~high:(Repr.neg high))
+  else begin
+    assert (lvl < low.Repr.node.level && lvl < high.Repr.node.level);
+    { Repr.node = intern man lvl low.Repr.node low.Repr.neg high.Repr.node;
+      neg = false }
+  end
+
+let new_var ?name man =
+  let lvl = man.nvars in
+  man.nvars <- man.nvars + 1;
+  let label = match name with Some s -> s | None -> Printf.sprintf "v%d" lvl in
+  let names = Array.make man.nvars "" in
+  Array.blit man.names 0 names 0 (Array.length man.names);
+  names.(lvl) <- label;
+  man.names <- names;
+  lvl
+
+let var_name man lvl =
+  if lvl >= 0 && lvl < Array.length man.names then man.names.(lvl)
+  else Printf.sprintf "v%d" lvl
+
+(* The BDD for a single variable / its negation. *)
+let var man lvl =
+  assert (lvl >= 0 && lvl < man.nvars);
+  mk man lvl ~low:Repr.fls ~high:Repr.tru
+
+let nvar man lvl = Repr.neg (var man lvl)
+
+let varset man levels =
+  let levels = List.sort_uniq compare levels in
+  let arr = Array.of_list levels in
+  match
+    List.find_opt (fun vs -> vs.levels = arr) man.varsets
+  with
+  | Some vs -> vs
+  | None ->
+    let width = man.nvars in
+    let member = Array.make (max width 1) false in
+    Array.iter (fun l -> member.(l) <- true) arr;
+    let vs = { vid = man.next_vid; levels = arr; member } in
+    man.next_vid <- man.next_vid + 1;
+    man.varsets <- vs :: man.varsets;
+    vs
+
+let varset_mem vs lvl = lvl < Array.length vs.member && vs.member.(lvl)
+
+let varset_max vs =
+  let n = Array.length vs.levels in
+  if n = 0 then -1 else vs.levels.(n - 1)
+
+(* Intern a renaming permutation so it can serve as a memo key. *)
+let perm_id man perm =
+  match List.find_opt (fun (p, _) -> p = perm) man.perms with
+  | Some (_, id) -> id
+  | None ->
+    let id = man.next_perm_id in
+    man.next_perm_id <- man.next_perm_id + 1;
+    man.perms <- (perm, id) :: man.perms;
+    id
+
+let set_progress_hook man hook = man.progress_hook <- hook
+
+(* Intern a simultaneous-substitution vector (compared physically: the
+   caller keeps the array alive for the duration of its use). *)
+let vcompose_id man subst =
+  match List.find_opt (fun (s, _) -> s == subst) man.vcomposes with
+  | Some (_, id) -> id
+  | None ->
+    let id = man.next_vcompose_id in
+    man.next_vcompose_id <- man.next_vcompose_id + 1;
+    man.vcomposes <- (subst, id) :: man.vcomposes;
+    id
+
+exception Node_budget_exhausted
+
+(* Run [f] with an additional (chained) progress hook that aborts once
+   more than [max_new_nodes] nodes have been created or [max_steps]
+   non-cached recursion steps have run; [None] on abort.  Budgets below
+   the 64K sampling cadence fire late, so use generous budgets.  Any
+   hook installed by an enclosing guard keeps running. *)
+let with_node_budget ?(max_steps = max_int) man ~max_new_nodes f =
+  let baseline = man.created in
+  let step_baseline = man.steps in
+  let old = man.progress_hook in
+  let hook m =
+    (match old with Some h -> h m | None -> ());
+    if
+      m.created - baseline > max_new_nodes
+      || m.steps - step_baseline > max_steps
+    then raise Node_budget_exhausted
+  in
+  man.progress_hook <- Some hook;
+  Fun.protect
+    ~finally:(fun () -> man.progress_hook <- old)
+    (fun () -> try Some (f ()) with Node_budget_exhausted -> None)

@@ -1,0 +1,147 @@
+(* Boolean connectives, all built on a single memoised if-then-else.
+
+   The ITE normalisation below follows Brace-Rudell-Bryant: terminal
+   cases first, then rewrite so that the test edge is regular and the
+   first branch is regular, which maximises cache hits and lets one
+   cache entry serve an operation and its complement. *)
+
+open Repr
+
+let rec ite man f g h =
+  (* Terminal cases. *)
+  if is_true f then g
+  else if is_false f then h
+  else if equal g h then g
+  else if is_true g && is_false h then f
+  else if is_false g && is_true h then neg f
+  else if equal f g then ite man f tru h (* f ? f : h  =  f \/ h *)
+  else if equal f (neg g) then ite man f fls h
+  else if equal f h then ite man f g fls
+  else if equal f (neg h) then ite man f g tru
+  else if f.neg then ite man (neg f) h g
+  else if g.neg then neg (ite man f (neg g) (neg h))
+  else begin
+    let key = (tag f, tag g, tag h) in
+    match Hashtbl.find_opt man.Man.cache_ite key with
+    | Some r -> r
+    | None ->
+      Man.tick man;
+      let v = min (level f) (min (level g) (level h)) in
+      let f0, f1 = cofactors f v in
+      let g0, g1 = cofactors g v in
+      let h0, h1 = cofactors h v in
+      let lo = ite man f0 g0 h0 in
+      let hi = ite man f1 g1 h1 in
+      let r = Man.mk man v ~low:lo ~high:hi in
+      Hashtbl.replace man.Man.cache_ite key r;
+      r
+  end
+
+let band man f g = ite man f g fls
+
+exception Step_budget_exhausted
+
+(* AND with a recursion-step budget: returns [None] if the computation
+   needs more than [max_steps] non-cached recursive calls.  This is the
+   "compute the size of a result without building it / abort if it
+   exceeds a bound" capability the paper lists as future work; the
+   greedy evaluation policy uses it to skip hopeless pairwise
+   conjunctions.  Results are cached under a key disjoint from ITE's
+   ((min,max,-1)), so completed sub-results are shared across calls. *)
+let band_bounded man ~max_steps f g =
+  let steps = ref 0 in
+  let rec go f g =
+    if is_false f || is_false g then fls
+    else if is_true f then g
+    else if is_true g then f
+    else if equal f g then f
+    else if equal f (neg g) then fls
+    else begin
+      let f, g = if tag f <= tag g then (f, g) else (g, f) in
+      let key = (tag f, tag g, -1) in
+      match Hashtbl.find_opt man.Man.cache_ite key with
+      | Some r -> r
+      | None ->
+        incr steps;
+        if !steps > max_steps then raise Step_budget_exhausted;
+        let v = min (level f) (level g) in
+        let f0, f1 = cofactors f v in
+        let g0, g1 = cofactors g v in
+        let r = Man.mk man v ~low:(go f0 g0) ~high:(go f1 g1) in
+        Hashtbl.replace man.Man.cache_ite key r;
+        r
+    end
+  in
+  try Some (go f g) with Step_budget_exhausted -> None
+let bor man f g = ite man f tru g
+let bxor man f g = ite man f (neg g) g
+let biff man f g = ite man f g (neg g)
+let bimp man f g = ite man f g tru
+let bnand man f g = neg (band man f g)
+let bnor man f g = neg (bor man f g)
+
+let conj man = List.fold_left (band man) tru
+let disj man = List.fold_left (bor man) fls
+
+(* f => g as a decision procedure: no new nodes beyond the AND. *)
+let implies man f g = is_false (band man f (neg g))
+
+(* Restriction of [f] by fixing the variable at [lvl] to [value]. *)
+let cofactor man ~lvl ~value f =
+  let key_base = (lvl * 2) + Bool.to_int value in
+  let rec go f =
+    if level f > lvl then f
+    else if level f = lvl then
+      let f0, f1 = cofactors f lvl in
+      if value then f1 else f0
+    else begin
+      let key = (key_base, tag f) in
+      match Hashtbl.find_opt man.Man.cache_cofactor key with
+      | Some r -> r
+      | None ->
+        Man.tick man;
+        let v = level f in
+        let f0, f1 = cofactors f v in
+        let r = Man.mk man v ~low:(go f0) ~high:(go f1) in
+        Hashtbl.replace man.Man.cache_cofactor key r;
+        r
+    end
+  in
+  go f
+
+(* Substitute the function [by] for the variable at [lvl] in [f]. *)
+let compose man ~lvl ~by f =
+  let f1 = cofactor man ~lvl ~value:true f in
+  let f0 = cofactor man ~lvl ~value:false f in
+  ite man by f1 f0
+
+(* Simultaneous substitution: variable at level v becomes [subst.(v)]
+   ([None] keeps the variable).  Substitution is simultaneous: the
+   substituted functions read the ORIGINAL variable values, so mutually
+   dependent substitutions (e.g. a swap) behave correctly.  Memoised per
+   interned substitution vector.  This is how PreImage/BackImage of a
+   deterministic machine avoids the relational product entirely. *)
+let vector_compose man subst f =
+  let sid = Man.vcompose_id man subst in
+  let rec go f =
+    if is_const f then f
+    else begin
+      let key = (sid, tag f) in
+      match Hashtbl.find_opt man.Man.cache_vcompose key with
+      | Some r -> r
+      | None ->
+        Man.tick man;
+        let v = level f in
+        let f0, f1 = cofactors f v in
+        let lo = go f0 and hi = go f1 in
+        let g =
+          match if v < Array.length subst then subst.(v) else None with
+          | Some g -> g
+          | None -> Man.var man v
+        in
+        let r = ite man g hi lo in
+        Hashtbl.replace man.Man.cache_vcompose key r;
+        r
+    end
+  in
+  go f

@@ -1,0 +1,71 @@
+(* Quantification and the combined AND-EXISTS ("relational product")
+   operator used by image computations.
+
+   Both recursions exploit the ordering invariant that below a node at
+   level v only levels > v occur, so a memo entry keyed by the full
+   variable-set id is valid wherever the subproblem reappears. *)
+
+open Repr
+
+let rec exists man vs f =
+  if is_const f then f
+  else if level f > Man.varset_max vs then f
+  else begin
+    let key = (vs.Man.vid, tag f) in
+    match Hashtbl.find_opt man.Man.cache_exists key with
+    | Some r -> r
+    | None ->
+      Man.tick man;
+      let v = level f in
+      let f0, f1 = cofactors f v in
+      let r =
+        if Man.varset_mem vs v then begin
+          let lo = exists man vs f0 in
+          if is_true lo then tru
+          else Ops.bor man lo (exists man vs f1)
+        end
+        else
+          Man.mk man v ~low:(exists man vs f0) ~high:(exists man vs f1)
+      in
+      Hashtbl.replace man.Man.cache_exists key r;
+      r
+  end
+
+let forall man vs f = neg (exists man vs (neg f))
+
+(* and_exists man vs f g = exists vs (f /\ g), computed without building
+   the conjunction first.  This is the workhorse of Image/PreImage. *)
+let rec and_exists man vs f g =
+  if is_false f || is_false g then fls
+  else if is_true f then exists man vs g
+  else if is_true g then exists man vs f
+  else if equal f g then exists man vs f
+  else if equal f (neg g) then fls
+  else begin
+    (* Order the pair for cache symmetry. *)
+    let f, g = if tag f <= tag g then (f, g) else (g, f) in
+    if level f > Man.varset_max vs && level g > Man.varset_max vs then
+      Ops.band man f g
+    else begin
+      let key = (vs.Man.vid, tag f, tag g) in
+      match Hashtbl.find_opt man.Man.cache_and_exists key with
+      | Some r -> r
+      | None ->
+        Man.tick man;
+        let v = min (level f) (level g) in
+        let f0, f1 = cofactors f v in
+        let g0, g1 = cofactors g v in
+        let r =
+          if Man.varset_mem vs v then begin
+            let lo = and_exists man vs f0 g0 in
+            if is_true lo then tru
+            else Ops.bor man lo (and_exists man vs f1 g1)
+          end
+          else
+            Man.mk man v ~low:(and_exists man vs f0 g0)
+              ~high:(and_exists man vs f1 g1)
+        in
+        Hashtbl.replace man.Man.cache_and_exists key r;
+        r
+    end
+  end

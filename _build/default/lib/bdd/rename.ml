@@ -1,0 +1,32 @@
+(* Variable renaming by a level permutation that is order-preserving on
+   the support of the argument (the common case: mapping next-state
+   variables back onto their interleaved current-state partners).  Under
+   that precondition a single structural pass suffices. *)
+
+open Repr
+
+exception Not_monotone
+
+let rename man perm f =
+  let pid = Man.perm_id man perm in
+  let map lvl = if lvl < Array.length perm then perm.(lvl) else lvl in
+  let rec go bound f =
+    if is_const f then f
+    else begin
+      let key = ((pid * 0x10001) + 1, tag f) in
+      match Hashtbl.find_opt man.Man.cache_rename key with
+      | Some r ->
+        if level r <> terminal_level && level r <= bound then
+          raise Not_monotone;
+        r
+      | None ->
+        let v = level f in
+        let v' = map v in
+        if v' <= bound then raise Not_monotone;
+        let f0, f1 = cofactors f v in
+        let r = Man.mk man v' ~low:(go v' f0) ~high:(go v' f1) in
+        Hashtbl.replace man.Man.cache_rename key r;
+        r
+    end
+  in
+  go (-1) f

@@ -1,0 +1,77 @@
+(* Internal representation of BDD nodes and edges.
+
+   The package follows the classic Brace-Rudell-Bryant design: reduced
+   ordered BDDs with hash-consed nodes and complement ("negative") edges.
+   The complement bit lives on edges, never on nodes; to keep the
+   representation canonical the THEN (high) edge of every node is regular
+   (not complemented).  Negation is therefore a constant-time bit flip,
+   which the verification algorithms built on top rely on. *)
+
+type node = {
+  mutable id : int;
+  (* Unique within a manager; the terminal has id 0.  Mutable only so the
+     unique table can assign the id at interning time. *)
+  level : int;
+  (* Variable level; smaller levels are nearer the root.  The terminal
+     node has level [terminal_level]. *)
+  low : node;
+  low_neg : bool;
+  (* ELSE child as a (node, complement) pair, flattened into the record
+     to halve allocation. *)
+  high : node;
+  (* THEN child; canonical form forbids a complement bit here. *)
+}
+
+type t = { node : node; neg : bool }
+(* An edge: a reference to a node plus a complement bit.  All public BDD
+   values are edges. *)
+
+let terminal_level = max_int
+
+(* The unique terminal node, representing TRUE when reached by a regular
+   edge and FALSE by a complemented one.  Shared by all managers: it
+   carries no manager-specific state and making it global lets constants
+   be compared with == across the package. *)
+let rec terminal_node =
+  { id = 0; level = terminal_level; low = terminal_node; low_neg = false;
+    high = terminal_node }
+
+let tru = { node = terminal_node; neg = false }
+let fls = { node = terminal_node; neg = true }
+
+let is_terminal_node n = n == terminal_node
+let is_const e = e.node == terminal_node
+let is_true e = e.node == terminal_node && not e.neg
+let is_false e = e.node == terminal_node && e.neg
+
+let equal a b = a.node == b.node && a.neg = b.neg
+
+let neg e = { e with neg = not e.neg }
+
+let of_bool b = if b then tru else fls
+
+(* Integer tag identifying an edge; used as a memo-table key. *)
+let tag e = (e.node.id * 2) + Bool.to_int e.neg
+
+let level e = e.node.level
+
+let low_edge n = { node = n.low; neg = n.low_neg }
+let high_edge n = { node = n.high; neg = false }
+
+(* Cofactors of an edge [e] with respect to the variable at level [v].
+   If the root of [e] is above [v] the edge does not depend on that
+   variable and both cofactors are [e] itself. *)
+let cofactors e v =
+  if e.node.level = v then
+    let lo = { node = e.node.low; neg = e.node.low_neg <> e.neg } in
+    let hi = { node = e.node.high; neg = e.neg } in
+    (lo, hi)
+  else (e, e)
+
+let hash_node n =
+  let h = (n.level * 0x9e3779b1) lxor (n.low.id * 2 + Bool.to_int n.low_neg) in
+  (h * 0x85ebca6b) lxor n.high.id
+
+let node_structurally_equal a b =
+  a.level = b.level && a.low == b.low && a.low_neg = b.low_neg
+  && a.high == b.high

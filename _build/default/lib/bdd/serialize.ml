@@ -1,0 +1,96 @@
+(* Textual serialization of BDDs.
+
+   Format: a header line "bdd <nodes> <roots>", one line per internal
+   node in bottom-up (children-first) order
+
+       <id> <level> <low-id> <low-neg> <high-id>
+
+   with the terminal fixed as id 0, then one line per root
+   "root <id> <neg>".  Node ids are densely renumbered on output, so
+   files are stable across managers and GC states. *)
+
+open Repr
+
+let write oc roots =
+  let order = ref [] in
+  let index = Hashtbl.create 64 in
+  let rec visit n =
+    if not (Hashtbl.mem index n.id) then begin
+      if is_terminal_node n then Hashtbl.replace index n.id 0
+      else begin
+        visit n.low;
+        visit n.high;
+        Hashtbl.replace index n.id (Hashtbl.length index);
+        order := n :: !order
+      end
+    end
+  in
+  List.iter (fun r -> visit r.node) roots;
+  (* The terminal may be absent if every root is constant. *)
+  if not (Hashtbl.mem index 0) then Hashtbl.replace index 0 0;
+  let nodes = List.rev !order in
+  Printf.fprintf oc "bdd %d %d\n" (List.length nodes) (List.length roots);
+  List.iter
+    (fun n ->
+      Printf.fprintf oc "%d %d %d %d %d\n" (Hashtbl.find index n.id) n.level
+        (Hashtbl.find index n.low.id)
+        (Bool.to_int n.low_neg)
+        (Hashtbl.find index n.high.id))
+    nodes;
+  List.iter
+    (fun r ->
+      Printf.fprintf oc "root %d %d\n"
+        (Hashtbl.find index r.node.id)
+        (Bool.to_int r.neg))
+    roots
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* Read BDDs back, rebuilding through the manager's [mk] so the result
+   is properly hash-consed (and shared with existing nodes).  [map]
+   relocates levels (identity by default); it must be order-preserving
+   or the read fails through [mk]'s canonicity assertion. *)
+let read ?map man ic =
+  let map = match map with Some f -> f | None -> Fun.id in
+  let header = input_line ic in
+  let nodes, roots =
+    match String.split_on_char ' ' header with
+    | [ "bdd"; n; r ] -> (int_of_string n, int_of_string r)
+    | _ -> fail "bad header %S" header
+  in
+  let table = Hashtbl.create (nodes + 1) in
+  Hashtbl.replace table 0 tru;
+  for _ = 1 to nodes do
+    let line = input_line ic in
+    match String.split_on_char ' ' line with
+    | [ id; level; low; low_neg; high ] ->
+      let edge key neg =
+        match Hashtbl.find_opt table (int_of_string key) with
+        | Some e -> if neg then Repr.neg e else e
+        | None -> fail "node %s references unknown node %s" id key
+      in
+      let low = edge low (low_neg = "1") in
+      let high = edge high false in
+      let e = Man.mk man (map (int_of_string level)) ~low ~high in
+      Hashtbl.replace table (int_of_string id) e
+    | _ -> fail "bad node line %S" line
+  done;
+  List.init roots (fun _ ->
+      let line = input_line ic in
+      match String.split_on_char ' ' line with
+      | [ "root"; id; neg ] -> (
+        match Hashtbl.find_opt table (int_of_string id) with
+        | Some e -> if neg = "1" then Repr.neg e else e
+        | None -> fail "unknown root %s" id)
+      | _ -> fail "bad root line %S" line)
+
+let to_file man path roots =
+  ignore man;
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc roots)
+
+let of_file ?map man path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ?map man ic)

@@ -1,0 +1,129 @@
+(* Care-set simplification operators of Coudert, Berthet and Madre:
+   Restrict (a.k.a. Reduce) and Constrain (the generalized cofactor).
+   Both return a function that agrees with [f] wherever [c] holds; the
+   value outside [c] is chosen to (heuristically) shrink the BDD.
+
+   These operators carry most of the efficiency of implicitly conjoined
+   invariants: every conjunct is a care set for the others. *)
+
+open Repr
+
+let rec restrict man f c =
+  if is_true c || is_const f then f
+  else if is_false c then invalid_arg "Bdd.restrict: empty care set"
+  else if equal f c then tru
+  else if equal f (neg c) then fls
+  else begin
+    let key = (tag f, tag c) in
+    match Hashtbl.find_opt man.Man.cache_restrict key with
+    | Some r -> r
+    | None ->
+      Man.tick man;
+      let lf = level f and lc = level c in
+      let r =
+        if lc < lf then
+          (* f does not depend on c's top variable: drop it from the
+             care set (Restrict(f, c_x \/ c_xbar)). *)
+          let c0, c1 = cofactors c lc in
+          restrict man f (Ops.bor man c0 c1)
+        else begin
+          let f0, f1 = cofactors f lf in
+          let c0, c1 = cofactors c lf in
+          if is_false c0 then restrict man f1 c1
+          else if is_false c1 then restrict man f0 c0
+          else
+            Man.mk man lf ~low:(restrict man f0 c0)
+              ~high:(restrict man f1 c1)
+        end
+      in
+      Hashtbl.replace man.Man.cache_restrict key r;
+      r
+  end
+
+(* Simultaneous multi-BDD Restrict: simplify [f] under the care set
+   c1 /\ ... /\ ck WITHOUT building the conjunction.  This is the
+   routine the paper's Section V asks for: simplifying by the c_i one
+   at a time can blow f up at every step, while the conjoined care set
+   -- which would shrink it -- is too big to build.
+
+   The recursion mirrors Restrict.  Where Restrict tests its single
+   care set's cofactors for emptiness, we test each c_i's cofactor
+   individually; where Restrict existentially drops a care-set-only
+   variable, we drop it from each c_i separately.  Both are sound
+   relaxations: they can only enlarge the effective care set, and the
+   result still agrees with [f] wherever every c_i holds. *)
+let multi_restrict man f cs =
+  let cs = List.filter (fun c -> not (is_true c)) cs in
+  if List.exists is_false cs then
+    invalid_arg "Bdd.multi_restrict: empty care set";
+  let memo : (int * int list, Repr.t) Hashtbl.t = Hashtbl.create 64 in
+  let rec go f cs =
+    (* Keep only care conjuncts that can still prune something. *)
+    let cs =
+      List.filter (fun c -> not (is_true c)) (List.sort_uniq compare_tag cs)
+    in
+    if is_const f || cs = [] then f
+    else if List.exists (fun c -> equal c f) cs then tru
+    else if List.exists (fun c -> equal c (neg f)) cs then fls
+    else begin
+      let key = (tag f, List.map tag cs) in
+      match Hashtbl.find_opt memo key with
+      | Some r -> r
+      | None ->
+        Man.tick man;
+        let lf = level f in
+        let lc = List.fold_left (fun acc c -> min acc (level c)) max_int cs in
+        let r =
+          if lc < lf then begin
+            (* Drop the care-only variable from every conjunct rooted
+               there (c := c_x \/ c_xbar). *)
+            let cs' =
+              List.map
+                (fun c ->
+                  if level c = lc then
+                    let c0, c1 = cofactors c lc in
+                    Ops.bor man c0 c1
+                  else c)
+                cs
+            in
+            go f cs'
+          end
+          else begin
+            let f0, f1 = cofactors f lf in
+            let c0s = List.map (fun c -> fst (cofactors c lf)) cs in
+            let c1s = List.map (fun c -> snd (cofactors c lf)) cs in
+            if List.exists is_false c0s then go f1 c1s
+            else if List.exists is_false c1s then go f0 c0s
+            else Man.mk man lf ~low:(go f0 c0s) ~high:(go f1 c1s)
+          end
+        in
+        Hashtbl.replace memo key r;
+        r
+    end
+  and compare_tag a b = compare (tag a) (tag b) in
+  go f cs
+
+let rec constrain man f c =
+  if is_true c || is_const f then f
+  else if is_false c then invalid_arg "Bdd.constrain: empty care set"
+  else if equal f c then tru
+  else if equal f (neg c) then fls
+  else begin
+    let key = (tag f, tag c) in
+    match Hashtbl.find_opt man.Man.cache_constrain key with
+    | Some r -> r
+    | None ->
+      Man.tick man;
+      let v = min (level f) (level c) in
+      let f0, f1 = cofactors f v in
+      let c0, c1 = cofactors c v in
+      let r =
+        if is_false c1 then constrain man f0 c0
+        else if is_false c0 then constrain man f1 c1
+        else
+          Man.mk man v ~low:(constrain man f0 c0)
+            ~high:(constrain man f1 c1)
+      in
+      Hashtbl.replace man.Man.cache_constrain key r;
+      r
+  end

@@ -1,0 +1,110 @@
+(* Bit-vector arithmetic over BDDs; see bvec.mli. *)
+
+type t = Bdd.t array
+
+let width = Array.length
+let bits = Array.to_list
+let of_bits = Array.of_list
+let get v i = v.(i)
+
+let const man ~width n =
+  if width < 0 || n < 0 || (width < Sys.int_size - 1 && n lsr width <> 0)
+  then
+    invalid_arg
+      (Printf.sprintf "Bvec.const: %d does not fit in %d bits" n width);
+  Array.init width (fun i -> Bdd.of_bool man ((n lsr i) land 1 = 1))
+
+let of_vars man levels = Array.of_list (List.map (Bdd.var man) levels)
+
+let zero man ~width = const man ~width 0
+
+let zero_extend man ~width v =
+  assert (width >= Array.length v);
+  Array.init width (fun i ->
+      if i < Array.length v then v.(i) else Bdd.fls man)
+
+let eq man a b =
+  assert (width a = width b);
+  let acc = ref (Bdd.tru man) in
+  for i = 0 to width a - 1 do
+    acc := Bdd.band man !acc (Bdd.biff man a.(i) b.(i))
+  done;
+  !acc
+
+let eq_bits man a b =
+  assert (width a = width b);
+  List.init (width a) (fun i -> Bdd.biff man a.(i) b.(i))
+
+let neq man a b = Bdd.bnot man (eq man a b)
+
+let is_zero man a =
+  Array.fold_left (fun acc bit -> Bdd.band man acc (Bdd.bnot man bit))
+    (Bdd.tru man) a
+
+(* Ripple-carry sum; [carry_in] defaults to false.  Result has the width
+   of the operands; [add_ext] keeps the carry as an extra top bit. *)
+let add_gen man ?(carry_in = None) ~keep_carry a b =
+  assert (width a = width b);
+  let n = width a in
+  let carry =
+    ref (match carry_in with None -> Bdd.fls man | Some c -> c)
+  in
+  let out =
+    Array.init n (fun i ->
+        let s = Bdd.bxor man (Bdd.bxor man a.(i) b.(i)) !carry in
+        let c =
+          Bdd.bor man
+            (Bdd.band man a.(i) b.(i))
+            (Bdd.band man !carry (Bdd.bxor man a.(i) b.(i)))
+        in
+        carry := c;
+        s)
+  in
+  if keep_carry then Array.append out [| !carry |] else out
+
+let add man a b = add_gen man ~keep_carry:false a b
+
+let add_ext man a b = add_gen man ~keep_carry:true a b
+
+let sub man a b =
+  (* a - b = a + ~b + 1 in two's complement, same width. *)
+  let nb = Array.map (Bdd.bnot man) b in
+  add_gen man ~carry_in:(Some (Bdd.tru man)) ~keep_carry:false a nb
+
+let mux man c a b =
+  assert (width a = width b);
+  Array.init (width a) (fun i -> Bdd.ite man c a.(i) b.(i))
+
+let shift_right_const _man ~by v =
+  assert (by >= 0 && by <= Array.length v);
+  Array.sub v by (Array.length v - by)
+
+let shift_left_in _man ~low v =
+  (* Shift towards the MSB by one, inserting [low] as the new LSB and
+     dropping the old MSB: the update of a shift register stage. *)
+  Array.init (Array.length v) (fun i -> if i = 0 then low else v.(i - 1))
+
+(* Unsigned comparison a < b. *)
+let ult man a b =
+  assert (width a = width b);
+  let r = ref (Bdd.fls man) in
+  for i = 0 to width a - 1 do
+    (* scanning LSB to MSB: higher bits dominate. *)
+    r :=
+      Bdd.ite man
+        (Bdd.bxor man a.(i) b.(i))
+        b.(i) (* bits differ: a<b iff b's bit is 1 *)
+        !r
+  done;
+  !r
+
+let ule man a b = Bdd.bnot man (ult man b a)
+
+let ule_const man v n = ule man v (const man ~width:(width v) n)
+
+let eval man env v =
+  let r = ref 0 in
+  for i = width v - 1 downto 0 do
+    r := (!r lsl 1) lor (if Bdd.eval man env v.(i) then 1 else 0)
+  done;
+  !r

@@ -1,0 +1,59 @@
+(** Bit-vectors of BDDs: the word-level datapath layer used to describe
+    the paper's examples (FIFOs, adder trees, register files).
+
+    A vector is little-endian: index 0 is the least significant bit.
+    All binary operations require equal widths. *)
+
+type t = Bdd.t array
+
+val width : t -> int
+val bits : t -> Bdd.t list
+val of_bits : Bdd.t list -> t
+val get : t -> int -> Bdd.t
+
+val const : Bdd.man -> width:int -> int -> t
+(** Raises [Invalid_argument] when the value does not fit in [width]
+    bits. *)
+
+val of_vars : Bdd.man -> int list -> t
+(** Vector of projection functions for the given levels (LSB first). *)
+
+val zero : Bdd.man -> width:int -> t
+val zero_extend : Bdd.man -> width:int -> t -> t
+
+val eq : Bdd.man -> t -> t -> Bdd.t
+
+val eq_bits : Bdd.man -> t -> t -> Bdd.t list
+(** Bitwise equality as a list of per-bit conjuncts — the natural
+    implicit conjunction for "these two words agree". *)
+
+val neq : Bdd.man -> t -> t -> Bdd.t
+val is_zero : Bdd.man -> t -> Bdd.t
+
+val add : Bdd.man -> t -> t -> t
+(** Modular sum (carry out dropped). *)
+
+val add_ext : Bdd.man -> t -> t -> t
+(** Full sum: result is one bit wider than the operands. *)
+
+val sub : Bdd.man -> t -> t -> t
+(** Two's-complement difference, same width. *)
+
+val mux : Bdd.man -> Bdd.t -> t -> t -> t
+(** [mux man c a b] is [a] when [c] holds, else [b]. *)
+
+val shift_right_const : Bdd.man -> by:int -> t -> t
+(** Drop the [by] least significant bits (the paper's "3-bit discard"
+    when averaging 8 samples). *)
+
+val shift_left_in : Bdd.man -> low:Bdd.t -> t -> t
+(** One-step shift register update: insert a new LSB, drop the MSB. *)
+
+val ult : Bdd.man -> t -> t -> Bdd.t
+(** Unsigned less-than. *)
+
+val ule : Bdd.man -> t -> t -> Bdd.t
+val ule_const : Bdd.man -> t -> int -> Bdd.t
+
+val eval : Bdd.man -> bool array -> t -> int
+(** Evaluate the vector under an assignment, as an unsigned integer. *)

@@ -1,0 +1,1 @@
+lib/fsm/space.ml: Array Bdd List Printf

@@ -1,0 +1,1 @@
+lib/fsm/space.mli: Bdd Bvec

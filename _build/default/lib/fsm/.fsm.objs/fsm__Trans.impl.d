@@ -1,0 +1,1 @@
+lib/fsm/trans.ml: Array Bdd Hashtbl List Space

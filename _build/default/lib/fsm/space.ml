@@ -1,0 +1,111 @@
+(* State spaces: variable bookkeeping for symbolic machines.
+
+   Every state bit owns two adjacent BDD levels -- current state at level
+   L, next state at L+1 -- so the standard interleaved ordering holds and
+   the next->current renaming is order-preserving.  Allocation order is
+   the variable order; models control interleaving (e.g. bit-slice
+   interleaving for datapaths) by the order in which they declare bits. *)
+
+type bit = { cur : int; next : int }
+
+type word = bit array
+
+type t = {
+  man : Bdd.man;
+  mutable state_bits : bit list; (* reverse declaration order *)
+  mutable input_levels : int list; (* reverse declaration order *)
+}
+
+let create ?cache_budget () =
+  { man = Bdd.create ?cache_budget (); state_bits = []; input_levels = [] }
+
+let man t = t.man
+
+let state_bit ?(name = "s") t =
+  let cur = Bdd.new_var ~name t.man in
+  let next = Bdd.new_var ~name:(name ^ "'") t.man in
+  let b = { cur; next } in
+  t.state_bits <- b :: t.state_bits;
+  b
+
+let input_bit ?(name = "i") t =
+  let lvl = Bdd.new_var ~name t.man in
+  t.input_levels <- lvl :: t.input_levels;
+  lvl
+
+(* A state word, LSB first, with its bits allocated consecutively. *)
+let state_word ?(name = "w") t ~width =
+  let arr = Array.make width { cur = -1; next = -1 } in
+  for i = 0 to width - 1 do
+    arr.(i) <- state_bit ~name:(Printf.sprintf "%s[%d]" name i) t
+  done;
+  arr
+
+(* [count] state words of [width] bits with their bit-slices interleaved:
+   bit 0 of every word first, then bit 1, etc.  This is the standard
+   datapath ordering heuristic the paper uses for the FIFO example. *)
+let interleaved_words ?(name = "w") t ~count ~width =
+  let words =
+    Array.init count (fun _ -> Array.make width { cur = -1; next = -1 })
+  in
+  for i = 0 to width - 1 do
+    for j = 0 to count - 1 do
+      words.(j).(i) <- state_bit ~name:(Printf.sprintf "%s%d[%d]" name j i) t
+    done
+  done;
+  words
+
+(* Bit-slice-major allocation for words of differing widths: all bit-0
+   slices first, then bit 1, etc.; words narrower than the current bit
+   position are skipped.  Used by the datapath-heavy models (adder
+   trees) where related words must interleave to keep sums small. *)
+let interleaved_words_mixed t specs =
+  let words =
+    Array.of_list
+      (List.map (fun (_, w) -> Array.make w { cur = -1; next = -1 }) specs)
+  in
+  let names = Array.of_list (List.map fst specs) in
+  let max_width = List.fold_left (fun acc (_, w) -> max acc w) 0 specs in
+  for i = 0 to max_width - 1 do
+    Array.iteri
+      (fun j word ->
+        if i < Array.length word then
+          word.(i) <-
+            state_bit ~name:(Printf.sprintf "%s[%d]" names.(j) i) t)
+      words
+  done;
+  words
+
+let input_word ?(name = "in") t ~width =
+  let levels = Array.make width (-1) in
+  for i = 0 to width - 1 do
+    levels.(i) <- input_bit ~name:(Printf.sprintf "%s[%d]" name i) t
+  done;
+  levels
+
+(* Vectors of projection functions. *)
+let cur t b = Bdd.var (man t) b.cur
+let next t b = Bdd.var (man t) b.next
+let cur_vec t (w : word) = Array.map (fun b -> cur t b) w
+let next_vec t (w : word) = Array.map (fun b -> next t b) w
+let input_vec t levels = Array.map (Bdd.var (man t)) levels
+
+let state_bits t = List.rev t.state_bits
+let current_levels t = List.rev_map (fun b -> b.cur) t.state_bits |> List.rev
+let next_levels t = List.rev_map (fun b -> b.next) t.state_bits |> List.rev
+let input_levels t = List.rev t.input_levels
+
+let num_state_bits t = List.length t.state_bits
+
+(* Renaming permutations; identity outside the mapped levels. *)
+let next_to_cur_perm t =
+  let n = Bdd.num_vars t.man in
+  let perm = Array.init n (fun i -> i) in
+  List.iter (fun b -> perm.(b.next) <- b.cur) t.state_bits;
+  perm
+
+let cur_to_next_perm t =
+  let n = Bdd.num_vars t.man in
+  let perm = Array.init n (fun i -> i) in
+  List.iter (fun b -> perm.(b.cur) <- b.next) t.state_bits;
+  perm

@@ -1,0 +1,54 @@
+(** State spaces for symbolic finite-state machines.
+
+    Every state bit owns two adjacent BDD levels (current at L, next at
+    L+1), giving the standard interleaved current/next ordering; the
+    next->current renaming is therefore order-preserving and cheap.
+    Declaration order fixes the variable order, so models control
+    interleaving (e.g. datapath bit-slice interleaving) by declaring
+    bits in the desired order. *)
+
+type bit = { cur : int; next : int }
+(** A state bit: its current-state and next-state BDD levels. *)
+
+type word = bit array
+(** A machine word of state bits, LSB first. *)
+
+type t
+
+val create : ?cache_budget:int -> unit -> t
+(** [cache_budget] is forwarded to {!Bdd.create}. *)
+
+val man : t -> Bdd.man
+
+val state_bit : ?name:string -> t -> bit
+val input_bit : ?name:string -> t -> int
+
+val state_word : ?name:string -> t -> width:int -> word
+(** A word whose bits occupy consecutive levels. *)
+
+val interleaved_words : ?name:string -> t -> count:int -> width:int -> word array
+(** [count] words of [width] bits allocated bit-slice-major (bit 0 of
+    every word, then bit 1, ...), the ordering heuristic the paper uses
+    for datapaths. *)
+
+val interleaved_words_mixed : t -> (string * int) list -> word array
+(** Bit-slice-major allocation for words of differing widths (narrow
+    words are skipped once exhausted); for datapaths such as adder
+    trees where related words of different widths must interleave. *)
+
+val input_word : ?name:string -> t -> width:int -> int array
+
+val cur : t -> bit -> Bdd.t
+val next : t -> bit -> Bdd.t
+val cur_vec : t -> word -> Bvec.t
+val next_vec : t -> word -> Bvec.t
+val input_vec : t -> int array -> Bvec.t
+
+val state_bits : t -> bit list
+val current_levels : t -> int list
+val next_levels : t -> int list
+val input_levels : t -> int list
+val num_state_bits : t -> int
+
+val next_to_cur_perm : t -> int array
+val cur_to_next_perm : t -> int array

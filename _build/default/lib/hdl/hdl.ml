@@ -1,0 +1,227 @@
+(* A small hardware/protocol description layer over the FSM substrate.
+
+   The paper's experiments were written for the Ever verifier, which
+   "supports higher-level constructs using BDDs" [18]; this module plays
+   that role for this library.  A design is built imperatively through a
+   first-class module carrying its own manager, so combinators need no
+   manager argument and read like RTL:
+
+     module D = (val Hdl.design "counter")
+     let c    = D.reg "c" ~width:2 ()
+     let tick = D.input "tick" ~width:1
+     let ()   = D.(c <== ite tick (c +: D.const ~width:2 1) c)
+     let model = D.model ~good:[ D.(c <=: D.const ~width:2 3) ] ()
+
+   Elaboration checks that every register is assigned exactly once,
+   widths agree, initial values fit, and the machine stays total under
+   the declared input constraints. *)
+
+type word = {
+  vec : Bvec.t;
+  handle : Fsm.Space.word option; (* Some w when this is a register *)
+}
+
+module type DESIGN = sig
+  val name : string
+  val space : Fsm.Space.t
+  val man : Bdd.man
+
+  (** {1 Declarations} *)
+
+  val input : string -> width:int -> word
+  val reg : string -> width:int -> ?init:int -> unit -> word
+  val ( <== ) : word -> word -> unit
+  val constrain : word -> unit
+
+  (** {1 Combinators} *)
+
+  val const : width:int -> int -> word
+  val tt : word
+  val ff : word
+  val ( +: ) : word -> word -> word
+  val ( -: ) : word -> word -> word
+  val ( ==: ) : word -> word -> word
+  val ( <>: ) : word -> word -> word
+  val ( <: ) : word -> word -> word
+  val ( <=: ) : word -> word -> word
+  val ( &&: ) : word -> word -> word
+  val ( ||: ) : word -> word -> word
+  val ( ^: ) : word -> word -> word
+  val ( !: ) : word -> word
+  val ( -->: ) : word -> word -> word
+  val ite : word -> word -> word -> word
+  val bit : word -> int -> word
+  val zero_extend : width:int -> word -> word
+  val shift_right : by:int -> word -> word
+  val concat_low : word -> word -> word
+  val is_zero : word -> word
+
+  (** {1 Escape hatches} *)
+
+  val of_bdd : Bdd.t -> word
+  val to_bdd : word -> Bdd.t
+  val to_vec : word -> Bvec.t
+
+  (** {1 Elaboration} *)
+
+  val model :
+    ?assisting:word list -> ?fd_candidates:word list -> good:word list ->
+    unit -> Mc.Model.t
+end
+
+exception Elaboration_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Elaboration_error s)) fmt
+
+let design design_name : (module DESIGN) =
+  (module struct
+    let name = design_name
+    let space = Fsm.Space.create ()
+    let man = Fsm.Space.man space
+
+    type reg_info = {
+      rname : string;
+      rword : Fsm.Space.word;
+      rinit : int;
+      mutable rnext : Bvec.t option;
+    }
+
+    let regs : reg_info list ref = ref []
+    let constraints : Bdd.t list ref = ref []
+    let elaborated = ref false
+
+    let check_open () =
+      if !elaborated then fail "design %S: already elaborated" design_name
+
+    let plain vec = { vec; handle = None }
+
+    let input iname ~width =
+      check_open ();
+      if width < 1 then fail "input %S: width must be positive" iname;
+      let levels = Fsm.Space.input_word ~name:iname space ~width in
+      plain (Fsm.Space.input_vec space levels)
+
+    let reg rname ~width ?(init = 0) () =
+      check_open ();
+      if width < 1 then fail "register %S: width must be positive" rname;
+      if init < 0 || (width < Sys.int_size - 1 && init lsr width <> 0) then
+        fail "register %S: initial value %d does not fit in %d bits" rname
+          init width;
+      if List.exists (fun r -> r.rname = rname) !regs then
+        fail "register %S: declared twice" rname;
+      let rword = Fsm.Space.state_word ~name:rname space ~width in
+      regs := { rname; rword; rinit = init; rnext = None } :: !regs;
+      { vec = Fsm.Space.cur_vec space rword; handle = Some rword }
+
+    let reg_of w =
+      match w.handle with
+      | Some h -> List.find (fun r -> r.rword == h) !regs
+      | None -> fail "<==: left-hand side is not a register"
+
+    let ( <== ) lhs rhs =
+      check_open ();
+      let r = reg_of lhs in
+      if Bvec.width rhs.vec <> Array.length r.rword then
+        fail "register %S: assigned %d bits, declared %d" r.rname
+          (Bvec.width rhs.vec) (Array.length r.rword);
+      (match r.rnext with
+      | Some _ -> fail "register %S: assigned twice" r.rname
+      | None -> ());
+      r.rnext <- Some rhs.vec
+
+    let as_bool w =
+      if Bvec.width w.vec <> 1 then
+        fail "expected a 1-bit value, got %d bits" (Bvec.width w.vec);
+      Bvec.get w.vec 0
+
+    let constrain w =
+      check_open ();
+      constraints := as_bool w :: !constraints
+
+    let const ~width n = plain (Bvec.const man ~width n)
+    let tt = plain [| Bdd.tru man |]
+    let ff = plain [| Bdd.fls man |]
+
+    let same_width a b op =
+      if Bvec.width a.vec <> Bvec.width b.vec then
+        fail "%s: width mismatch (%d vs %d)" op (Bvec.width a.vec)
+          (Bvec.width b.vec)
+
+    let ( +: ) a b = same_width a b "+:"; plain (Bvec.add man a.vec b.vec)
+    let ( -: ) a b = same_width a b "-:"; plain (Bvec.sub man a.vec b.vec)
+    let ( ==: ) a b = same_width a b "==:"; plain [| Bvec.eq man a.vec b.vec |]
+    let ( <>: ) a b = same_width a b "<>:"; plain [| Bvec.neq man a.vec b.vec |]
+    let ( <: ) a b = same_width a b "<:"; plain [| Bvec.ult man a.vec b.vec |]
+    let ( <=: ) a b = same_width a b "<=:"; plain [| Bvec.ule man a.vec b.vec |]
+
+    let bitwise op name a b =
+      same_width a b name;
+      plain (Array.map2 (op man) a.vec b.vec)
+
+    let ( &&: ) a b = bitwise Bdd.band "&&:" a b
+    let ( ||: ) a b = bitwise Bdd.bor "||:" a b
+    let ( ^: ) a b = bitwise Bdd.bxor "^:" a b
+    let ( !: ) a = plain (Array.map (Bdd.bnot man) a.vec)
+
+    let ( -->: ) a b = plain [| Bdd.bimp man (as_bool a) (as_bool b) |]
+
+    let ite c a b =
+      same_width a b "ite";
+      plain (Bvec.mux man (as_bool c) a.vec b.vec)
+
+    let bit w i =
+      if i < 0 || i >= Bvec.width w.vec then
+        fail "bit %d out of range (width %d)" i (Bvec.width w.vec);
+      plain [| Bvec.get w.vec i |]
+
+    let zero_extend ~width w = plain (Bvec.zero_extend man ~width w.vec)
+    let shift_right ~by w = plain (Bvec.shift_right_const man ~by w.vec)
+    let concat_low lo hi = plain (Array.append lo.vec hi.vec)
+    let is_zero w = plain [| Bvec.is_zero man w.vec |]
+
+    let of_bdd b = plain [| b |]
+    let to_bdd w = as_bool w
+    let to_vec w = w.vec
+
+    let model ?(assisting = []) ?(fd_candidates = []) ~good () =
+      check_open ();
+      elaborated := true;
+      let regs = List.rev !regs in
+      let assigns =
+        List.concat_map
+          (fun r ->
+            match r.rnext with
+            | None -> fail "register %S: never assigned" r.rname
+            | Some next ->
+              List.init (Array.length r.rword) (fun i ->
+                  (r.rword.(i), Bvec.get next i)))
+          regs
+      in
+      let input_constraint = Bdd.conj man !constraints in
+      let trans = Fsm.Trans.make ~input_constraint space ~assigns in
+      if not (Fsm.Trans.is_total trans) then
+        fail "design %S: input constraints leave some state with no legal \
+              input (machine not total)"
+          design_name;
+      let init =
+        Bdd.conj man
+          (List.map
+             (fun r ->
+               Bvec.eq man
+                 (Fsm.Space.cur_vec space r.rword)
+                 (Bvec.const man ~width:(Array.length r.rword) r.rinit))
+             regs)
+      in
+      let fd_candidates =
+        List.concat_map
+          (fun w ->
+            match w.handle with
+            | Some h ->
+              Array.to_list h |> List.map (fun (b : Fsm.Space.bit) -> b.cur)
+            | None -> fail "fd_candidates: not a register")
+          fd_candidates
+      in
+      Mc.Model.make ~assisting:(List.map as_bool assisting) ~fd_candidates
+        ~name:design_name ~space ~trans ~init
+        ~good:(List.map as_bool good) ()
+  end)

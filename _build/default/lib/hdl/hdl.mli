@@ -1,0 +1,93 @@
+(** A small hardware/protocol description layer over the FSM substrate,
+    playing the role of the Ever verifier's higher-level constructs
+    (paper reference [18]).
+
+    A design is a first-class module carrying its own BDD manager, so
+    combinators need no manager argument:
+
+    {[
+      module D = (val Hdl.design "counter")
+      let c    = D.reg "c" ~width:2 ()
+      let tick = D.input "tick" ~width:1
+      let ()   = D.(c <== ite tick (c +: const ~width:2 1) c)
+      let model = D.model ~good:[ D.(c <=: const ~width:2 3) ] ()
+    ]}
+
+    Elaboration ([model]) checks that every register is assigned exactly
+    once, widths agree, initial values fit, and the input constraints
+    keep the machine total; violations raise {!Elaboration_error}. *)
+
+type word
+(** A word-valued expression (a 1-bit word doubles as a boolean). *)
+
+exception Elaboration_error of string
+
+module type DESIGN = sig
+  val name : string
+  val space : Fsm.Space.t
+  val man : Bdd.man
+
+  (** {1 Declarations} *)
+
+  val input : string -> width:int -> word
+  (** A fresh nondeterministic input word. *)
+
+  val reg : string -> width:int -> ?init:int -> unit -> word
+  (** Declare a register (initial value 0 by default) and return its
+      current-state value. *)
+
+  val ( <== ) : word -> word -> unit
+  (** Assign a register's next-state function (exactly once). *)
+
+  val constrain : word -> unit
+  (** Conjoin a 1-bit legality condition on the inputs. *)
+
+  (** {1 Combinators} *)
+
+  (** Arithmetic ([+:] modular sum), comparisons ([==:], [<:] unsigned,
+      1-bit results), bitwise logic ([&&:], [||:], [^:], [!:]), 1-bit
+      implication ([-->:]), multiplexing and slicing.  [concat_low]
+      appends with the low bits first. *)
+
+  val const : width:int -> int -> word
+  val tt : word
+  val ff : word
+  val ( +: ) : word -> word -> word
+  val ( -: ) : word -> word -> word
+  val ( ==: ) : word -> word -> word
+  val ( <>: ) : word -> word -> word
+  val ( <: ) : word -> word -> word
+  val ( <=: ) : word -> word -> word
+  val ( &&: ) : word -> word -> word
+  val ( ||: ) : word -> word -> word
+  val ( ^: ) : word -> word -> word
+  val ( !: ) : word -> word
+  val ( -->: ) : word -> word -> word
+  val ite : word -> word -> word -> word
+  val bit : word -> int -> word
+  val zero_extend : width:int -> word -> word
+  val shift_right : by:int -> word -> word
+  val concat_low : word -> word -> word
+  val is_zero : word -> word
+
+  (** {1 Escape hatches to the lower layers} *)
+
+  val of_bdd : Bdd.t -> word
+  val to_bdd : word -> Bdd.t
+  val to_vec : word -> Bvec.t
+
+  (** {1 Elaboration} *)
+
+  val model :
+    ?assisting:word list ->
+    ?fd_candidates:word list ->
+    good:word list ->
+    unit ->
+    Mc.Model.t
+  (** Elaborate to a verification problem.  [good] and [assisting] are
+      1-bit conjuncts; [fd_candidates] must be registers.  Can be
+      called once. *)
+end
+
+val design : string -> (module DESIGN)
+(** A fresh design builder. *)

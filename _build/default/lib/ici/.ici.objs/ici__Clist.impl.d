@@ -1,0 +1,1 @@
+lib/ici/clist.ml: Bdd Format Hashtbl List

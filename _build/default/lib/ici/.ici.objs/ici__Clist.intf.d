@@ -1,0 +1,1 @@
+lib/ici/clist.mli: Bdd Format

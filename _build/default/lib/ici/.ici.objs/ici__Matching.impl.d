@@ -1,0 +1,1 @@
+lib/ici/matching.ml: Array List

@@ -1,0 +1,1 @@
+lib/ici/matching.mli:

@@ -1,0 +1,1 @@
+lib/ici/policy.ml: Array Bdd Clist Hashtbl List Matching

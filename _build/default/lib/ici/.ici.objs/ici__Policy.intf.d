@@ -1,0 +1,1 @@
+lib/ici/policy.mli: Bdd Clist

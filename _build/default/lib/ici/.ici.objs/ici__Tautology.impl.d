@@ -1,0 +1,1 @@
+lib/ici/tautology.ml: Array Bdd Hashtbl List Option

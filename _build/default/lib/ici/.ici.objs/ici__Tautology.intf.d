@@ -1,0 +1,1 @@
+lib/ici/tautology.mli: Bdd Clist

@@ -1,0 +1,63 @@
+(* Implicitly conjoined lists of BDDs.
+
+   A list [x1; ...; xn] denotes the conjunction x1 /\ ... /\ xn without
+   building its (possibly huge) BDD.  The empty list denotes TRUE.
+   Operations keep the list free of constant-true conjuncts; a conjunct
+   equal to constant false collapses the whole list to [false]. *)
+
+type t = Bdd.t list
+
+let of_list man xs =
+  if List.exists Bdd.is_false xs then [ Bdd.fls man ]
+  else
+    (* drop TRUE conjuncts and duplicates (cheap by canonicity) *)
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun x ->
+        if Bdd.is_true x || Hashtbl.mem seen (Bdd.tag x) then false
+        else begin
+          Hashtbl.add seen (Bdd.tag x) ();
+          true
+        end)
+      xs
+
+let to_list xs = xs
+let length = List.length
+
+let is_false = function [ x ] -> Bdd.is_false x | _ -> false
+let is_true xs = xs = []
+
+(* Total size with sharing and the per-conjunct breakdown, the two node
+   counts reported in the paper's tables. *)
+let shared_size xs = Bdd.size_list xs
+let conjunct_sizes xs = List.map Bdd.size xs
+
+(* Build the explicit conjunction (only for small lists / tests). *)
+let force man xs = Bdd.conj man xs
+
+(* Does a concrete state satisfy the implied conjunction?  Linear-time
+   per conjunct, no new nodes: used by counterexample extraction. *)
+let eval man env xs = List.for_all (Bdd.eval man env) xs
+
+(* f => (/\ xs), decided conjunct by conjunct (Section II.C: the
+   violation check decomposes into individual checks). *)
+let implied_by man f xs = List.for_all (fun x -> Bdd.implies man f x) xs
+
+(* First conjunct not implied by [f], if any: the witness used to build
+   counterexamples. *)
+let find_unimplied man f xs =
+  List.find_opt (fun x -> not (Bdd.implies man f x)) xs
+
+let band_pointwise man xs ys =
+  (* Pairwise AND of two equal-length lists (the original ICI policy's
+     way of keeping the list length fixed). *)
+  List.map2 (Bdd.band man) xs ys
+
+let pp man fmt xs =
+  Format.fprintf fmt "@[<hv>";
+  List.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf fmt "@ /\\ ";
+      Format.fprintf fmt "[%d]%a" (Bdd.size x) (Bdd.pp man) x)
+    xs;
+  Format.fprintf fmt "@]"

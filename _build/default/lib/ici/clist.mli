@@ -1,0 +1,39 @@
+(** Implicitly conjoined lists of BDDs.
+
+    A list [x1; ...; xn] denotes [x1 /\ ... /\ xn] without building the
+    conjunction's BDD.  The empty list denotes TRUE; a list containing
+    the constant false denotes FALSE. *)
+
+type t = Bdd.t list
+
+val of_list : Bdd.man -> Bdd.t list -> t
+(** Normalise: drop TRUE conjuncts and duplicates; collapse to
+    [[false]] if any conjunct is FALSE. *)
+
+val to_list : t -> Bdd.t list
+val length : t -> int
+val is_false : t -> bool
+val is_true : t -> bool
+
+val shared_size : t -> int
+(** Total BDD nodes with cross-conjunct sharing (the parenthesised
+    node counts of the paper's tables). *)
+
+val conjunct_sizes : t -> int list
+
+val force : Bdd.man -> t -> Bdd.t
+(** Build the explicit conjunction (for tests and small lists only). *)
+
+val eval : Bdd.man -> bool array -> t -> bool
+(** Truth of the implied conjunction in one concrete state. *)
+
+val implied_by : Bdd.man -> Bdd.t -> t -> bool
+(** [implied_by man f xs]: does [f => /\ xs] hold?  Decided conjunct by
+    conjunct (the decomposed violation check of Section II.C). *)
+
+val find_unimplied : Bdd.man -> Bdd.t -> t -> Bdd.t option
+
+val band_pointwise : Bdd.man -> t -> t -> t
+(** Index-wise AND of two equal-length lists (the original ICI policy). *)
+
+val pp : Bdd.man -> Format.formatter -> t -> unit

@@ -1,0 +1,71 @@
+(* Minimum-cost pairwise cover (Theorem 2 of the paper).
+
+   The paper reduces the problem to minimum-weight perfect matching via
+   a vertex-copying gadget; since the conjunct lists that occur in
+   practice are short, we solve the cover exactly by dynamic programming
+   over subsets instead, which is simpler to audit and exact for the
+   same problem:
+
+     dp(mask) = least total cost of a family of singletons and pairs
+                covering every conjunct in mask (members outside mask
+                are allowed in a pair: they are simply covered again).
+
+   Complexity O(2^n * n); capped at [max_exact] conjuncts. *)
+
+type part = Single of int | Pair of int * int
+
+let max_exact = 16
+
+let min_cost_pair_cover ~n ~single_cost ~pair_cost =
+  assert (n >= 1 && n <= max_exact);
+  let singles = Array.init n single_cost in
+  let pairs = Array.make_matrix n n 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let c = pair_cost i j in
+      pairs.(i).(j) <- c;
+      pairs.(j).(i) <- c
+    done
+  done;
+  let size = 1 lsl n in
+  let dp = Array.make size max_int in
+  let choice = Array.make size (Single (-1)) in
+  dp.(0) <- 0;
+  for mask = 1 to size - 1 do
+    (* Lowest uncovered conjunct. *)
+    let rec lowest i = if mask land (1 lsl i) <> 0 then i else lowest (i + 1) in
+    let i = lowest 0 in
+    let consider cost part rest =
+      if dp.(rest) <> max_int && dp.(rest) + cost < dp.(mask) then begin
+        dp.(mask) <- dp.(rest) + cost;
+        choice.(mask) <- part
+      end
+    in
+    consider singles.(i) (Single i) (mask lxor (1 lsl i));
+    for j = 0 to n - 1 do
+      if j <> i then begin
+        let rest = mask land lnot ((1 lsl i) lor (1 lsl j)) in
+        consider pairs.(i).(j) (Pair (min i j, max i j)) rest
+      end
+    done
+  done;
+  let rec rebuild mask acc =
+    if mask = 0 then acc
+    else begin
+      let part = choice.(mask) in
+      let rest =
+        match part with
+        | Single i -> mask lxor (1 lsl i)
+        | Pair (i, j) -> mask land lnot ((1 lsl i) lor (1 lsl j))
+      in
+      rebuild rest (part :: acc)
+    end
+  in
+  rebuild (size - 1) []
+
+let cover_cost ~single_cost ~pair_cost cover =
+  List.fold_left
+    (fun acc part ->
+      acc
+      + (match part with Single i -> single_cost i | Pair (i, j) -> pair_cost i j))
+    0 cover

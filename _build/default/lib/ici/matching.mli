@@ -1,0 +1,20 @@
+(** Exact minimum-cost pairwise cover (Theorem 2 of the paper).
+
+    Cover n conjuncts by singletons and pairs, minimising total cost.
+    The paper reduces this to minimum-weight perfect matching; for the
+    short lists arising in practice we solve the same problem exactly by
+    dynamic programming over subsets (documented substitution in
+    DESIGN.md). *)
+
+type part = Single of int | Pair of int * int
+
+val max_exact : int
+(** Largest [n] accepted (16). *)
+
+val min_cost_pair_cover :
+  n:int -> single_cost:(int -> int) -> pair_cost:(int -> int -> int) -> part list
+(** An optimal cover of [{0..n-1}].  [pair_cost i j] may be queried for
+    any [i <> j]; pairs may cover an element twice when cheaper. *)
+
+val cover_cost :
+  single_cost:(int -> int) -> pair_cost:(int -> int -> int) -> part list -> int

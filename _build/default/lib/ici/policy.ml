@@ -1,0 +1,189 @@
+(* The paper's evaluation and simplification policy (Section III.A).
+
+   Two phases applied to an implicitly conjoined list:
+
+   1. cross-simplification: each conjunct is simplified, one individually
+      sound step at a time, by conjuncts currently smaller than it, using
+      Restrict (or Constrain, for the ablation);
+   2. greedy conjunction evaluation (Figure 1): repeatedly evaluate the
+      pairwise conjunction whose BDD is smallest relative to the shared
+      size of its two operands, until the best ratio exceeds
+      GrowThreshold (1.5 in the paper). *)
+
+type simplifier = Restrict | Constrain | Multi_restrict | No_simplify
+
+type evaluation = Greedy | Optimal_cover | No_evaluation
+
+type config = {
+  grow_threshold : float;
+  simplifier : simplifier;
+  evaluation : evaluation;
+  pair_step_factor : int option;
+      (* the paper's future-work size-bounded AND: abort a pairwise
+         conjunction after factor * shared-size recursion steps and
+         treat the pair as unprofitable (ratio infinity).  [None] builds
+         every pair unconditionally, as the paper's implementation did. *)
+}
+
+let default =
+  { grow_threshold = 1.5; simplifier = Restrict; evaluation = Greedy;
+    pair_step_factor = Some 64 }
+
+let apply_simplifier man simplifier f care =
+  match simplifier with
+  | Restrict | Multi_restrict -> Bdd.restrict man f care
+  | Constrain -> Bdd.constrain man f care
+  | No_simplify -> f
+
+(* One pass of cross-simplification.  Every individual replacement
+   x_i := Simplify(x_i, x_j) with x_j still in the list preserves the
+   implied conjunction, so any sequence of such steps is sound.  We
+   process conjuncts from smallest to largest and only simplify by
+   strictly smaller conjuncts ("simplifying a small BDD by a large BDD,
+   in our experience, does little good"). *)
+let simplify_pass man cfg xs =
+  match cfg.simplifier with
+  | No_simplify -> Clist.of_list man xs
+  | Multi_restrict ->
+    (* Section V's simultaneous simplification: each conjunct is
+       simplified under the conjoined care set of ALL the others, which
+       is never built.  Each individual replacement is sound (the other
+       conjuncts remain in the list), so the sequence is sound. *)
+    let xs = Clist.of_list man xs in
+    if Clist.is_false xs then xs
+    else begin
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let collapsed = ref false in
+      for i = 0 to n - 1 do
+        if not !collapsed then begin
+          let others =
+            List.filteri (fun j _ -> j <> i) (Array.to_list arr)
+          in
+          let r = Bdd.multi_restrict man arr.(i) others in
+          if Bdd.is_false r then collapsed := true else arr.(i) <- r
+        end
+      done;
+      if !collapsed then [ Bdd.fls man ]
+      else Clist.of_list man (Array.to_list arr)
+    end
+  | (Restrict | Constrain) as s ->
+    let xs = Clist.of_list man xs in
+    if Clist.is_false xs then xs
+    else begin
+      let arr = Array.of_list xs in
+      let order =
+        List.sort
+          (fun i j -> compare (Bdd.size arr.(i)) (Bdd.size arr.(j)))
+          (List.init (Array.length arr) (fun i -> i))
+      in
+      let collapsed = ref false in
+      List.iter
+        (fun i ->
+          List.iter
+            (fun j ->
+              if (not !collapsed) && j <> i
+                 && (not (Bdd.is_const arr.(j)))
+                 && (not (Bdd.is_const arr.(i)))
+                 && Bdd.size arr.(j) < Bdd.size arr.(i)
+              then begin
+                let r = apply_simplifier man s arr.(i) arr.(j) in
+                (* r = false means x_i /\ x_j is unsatisfiable. *)
+                if Bdd.is_false r then collapsed := true
+                else arr.(i) <- r
+              end)
+            order)
+        order;
+      if !collapsed then [ Bdd.fls man ]
+      else Clist.of_list man (Array.to_list arr)
+    end
+
+(* Greedy pair evaluation, Figure 1 of the paper.  The pair table P is a
+   cache keyed by conjunct tags, so entries survive across loop
+   iterations (and across traversal iterations) for pairs that did not
+   change.  With [pair_step_factor = Some k] a pairwise conjunction is
+   abandoned after k * shared-size recursion steps (and cached as
+   hopeless), realising the size-bounded evaluation the paper proposes
+   as future work. *)
+let greedy_evaluate man ?pair_step_factor ~grow_threshold xs =
+  let pair_cache : (int * int, Bdd.t option) Hashtbl.t = Hashtbl.create 64 in
+  let conjoin a b =
+    let ka = Bdd.tag a and kb = Bdd.tag b in
+    let key = if ka <= kb then (ka, kb) else (kb, ka) in
+    match Hashtbl.find_opt pair_cache key with
+    | Some p -> p
+    | None ->
+      let p =
+        match pair_step_factor with
+        | None -> Some (Bdd.band man a b)
+        | Some factor ->
+          let max_steps = (factor * Bdd.size_list [ a; b ]) + 1024 in
+          Bdd.band_bounded man ~max_steps a b
+      in
+      Hashtbl.replace pair_cache key p;
+      p
+  in
+  let rec loop xs =
+    match xs with
+    | [] | [ _ ] -> xs
+    | _ ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let best = ref None in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          match conjoin arr.(i) arr.(j) with
+          | None -> () (* budget blown: ratio is effectively infinite *)
+          | Some p ->
+            let ratio =
+              float_of_int (Bdd.size p)
+              /. float_of_int (Bdd.size_list [ arr.(i); arr.(j) ])
+            in
+            (match !best with
+            | Some (r, _, _, _) when r <= ratio -> ()
+            | _ -> best := Some (ratio, i, j, p))
+        done
+      done;
+      (match !best with
+      | Some (r, i, j, p) when r <= grow_threshold ->
+        let rest =
+          List.filteri (fun k _ -> k <> i && k <> j) (Array.to_list arr)
+        in
+        loop (Clist.of_list man (p :: rest))
+      | Some _ | None -> xs)
+  in
+  loop (Clist.of_list man xs)
+
+(* Exact minimum-cost pairwise cover (Theorem 2), used as an ablation
+   baseline for the greedy policy. *)
+let cover_evaluate man xs =
+  let xs = Clist.of_list man xs in
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  if n <= 1 || n > Matching.max_exact then xs
+  else begin
+    let pair i j = Bdd.band man arr.(i) arr.(j) in
+    let pair_cost i j = Bdd.size (pair i j) in
+    let single_cost i = Bdd.size arr.(i) in
+    let cover = Matching.min_cost_pair_cover ~n ~single_cost ~pair_cost in
+    let parts =
+      List.map
+        (function
+          | Matching.Single i -> arr.(i)
+          | Matching.Pair (i, j) -> pair i j)
+        cover
+    in
+    Clist.of_list man parts
+  end
+
+(* The full XICI list transformer: simplify, then evaluate. *)
+let improve man cfg xs =
+  let xs = simplify_pass man cfg xs in
+  if Clist.is_false xs then xs
+  else
+    match cfg.evaluation with
+    | Greedy ->
+      greedy_evaluate man ?pair_step_factor:cfg.pair_step_factor
+        ~grow_threshold:cfg.grow_threshold xs
+    | Optimal_cover -> cover_evaluate man xs
+    | No_evaluation -> xs

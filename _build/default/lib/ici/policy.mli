@@ -1,0 +1,53 @@
+(** The evaluation and simplification policy of Section III.A.
+
+    [improve] transforms an implicitly conjoined list into an equivalent
+    list of smaller overall size: cross-simplification with Restrict (or
+    Constrain) followed by greedy evaluation of profitable pairwise
+    conjunctions (Figure 1 of the paper). *)
+
+type simplifier =
+  | Restrict
+  | Constrain
+  | Multi_restrict
+      (** simultaneous simplification by all other conjuncts at once
+          (the Section-V future-work routine, via
+          {!Bdd.multi_restrict}) *)
+  | No_simplify
+
+type evaluation =
+  | Greedy  (** Figure 1: best-ratio pair until ratio > threshold *)
+  | Optimal_cover  (** Theorem 2: exact min-cost pairwise cover *)
+  | No_evaluation
+
+type config = {
+  grow_threshold : float;  (** the paper uses 1.5 *)
+  simplifier : simplifier;
+  evaluation : evaluation;
+  pair_step_factor : int option;
+      (** the paper's future-work size-bounded AND: give up on a
+          pairwise conjunction after [factor * shared-size] recursion
+          steps and treat the pair as unprofitable.  [None] builds
+          every pair unconditionally (the paper's implementation). *)
+}
+
+val default : config
+(** grow_threshold 1.5, Restrict, Greedy, pair budget 64x. *)
+
+val simplify_pass : Bdd.man -> config -> Clist.t -> Clist.t
+(** Cross-simplification only: each conjunct simplified by currently
+    strictly smaller conjuncts, one individually-sound step at a time.
+    Preserves the implied conjunction. *)
+
+val greedy_evaluate :
+  Bdd.man -> ?pair_step_factor:int -> grow_threshold:float -> Clist.t -> Clist.t
+(** Figure 1.  Repeatedly replace the pair [xi, xj] minimising
+    [size(xi /\ xj) / shared_size(xi, xj)] by its conjunction while the
+    ratio is at most [grow_threshold]. *)
+
+val cover_evaluate : Bdd.man -> Clist.t -> Clist.t
+(** Theorem-2 baseline: evaluate the exact minimum-cost pairwise cover
+    (identity on lists longer than {!Matching.max_exact}). *)
+
+val improve : Bdd.man -> config -> Clist.t -> Clist.t
+(** The full policy: simplify then evaluate.  Preserves the implied
+    conjunction. *)

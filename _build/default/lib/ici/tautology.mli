@@ -1,0 +1,64 @@
+(** The exact termination test of Section III.B.
+
+    Decides tautology of an implicit disjunction (and, through it,
+    implication and equality of implicit conjunctions) without building
+    the disjunction: constant and complement filtering, Theorem-3
+    Restrict-based pairwise filtering, then recursive Shannon
+    expansion. *)
+
+type var_choice =
+  | First_top  (** top variable of the first BDD — the paper's choice *)
+  | Lowest_level  (** globally top-most variable in the list *)
+  | Most_common  (** most frequent root variable *)
+
+type stats = {
+  mutable expansions : int;
+  mutable simplifications : int;
+  mutable max_depth : int;
+  mutable memo_hits : int;
+}
+
+val fresh_stats : unit -> stats
+
+exception Out_of_fuel
+
+val check :
+  ?var_choice:var_choice ->
+  ?simplify:bool ->
+  ?memo:bool ->
+  ?fuel:int ->
+  ?stats:stats ->
+  Bdd.man ->
+  Bdd.t list ->
+  bool
+(** Is [d1 \/ ... \/ dn] a tautology?  The test is exact; worst-case
+    exponential.  [fuel] bounds the number of Shannon expansions
+    (raising [Out_of_fuel]); [simplify] toggles the Theorem-3 step
+    (default true); [memo] caches subproblem verdicts by canonical tag
+    lists (default true — an improvement over the paper, collapsing
+    symmetric worst cases to polynomial). *)
+
+val implies :
+  ?var_choice:var_choice ->
+  ?simplify:bool ->
+  ?memo:bool ->
+  ?fuel:int ->
+  ?stats:stats ->
+  Bdd.man ->
+  Clist.t ->
+  Clist.t ->
+  bool
+(** Implication between implicit conjunctions. *)
+
+val equal :
+  ?var_choice:var_choice ->
+  ?simplify:bool ->
+  ?memo:bool ->
+  ?fuel:int ->
+  ?stats:stats ->
+  Bdd.man ->
+  Clist.t ->
+  Clist.t ->
+  bool
+(** Exact equality of two implicit conjunctions (mutual implication):
+    the paper's termination test. *)

@@ -1,0 +1,1 @@
+lib/mc/backward.ml: Bdd Fsm Limits List Log Model Report Trace

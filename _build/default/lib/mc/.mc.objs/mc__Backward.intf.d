@@ -1,0 +1,1 @@
+lib/mc/backward.mli: Bdd Fsm Limits Model Report

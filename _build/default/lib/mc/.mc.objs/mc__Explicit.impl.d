@@ -1,0 +1,1 @@
+lib/mc/explicit.ml: Array Bdd Bytes Char Fsm Hashtbl Ici Limits List Log Model Queue Report Seq

@@ -1,0 +1,1 @@
+lib/mc/explicit.mli: Bdd Limits Model Report

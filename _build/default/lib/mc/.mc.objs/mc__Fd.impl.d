@@ -1,0 +1,1 @@
+lib/mc/fd.ml: Array Bdd Fsm Ici Limits List Log Model Report Trace

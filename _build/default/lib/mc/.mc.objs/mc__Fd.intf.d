@@ -1,0 +1,1 @@
+lib/mc/fd.mli: Bdd Limits Model Report

@@ -1,0 +1,1 @@
+lib/mc/forward.ml: Bdd Fsm Ici Limits List Log Model Report Trace

@@ -1,0 +1,1 @@
+lib/mc/forward.mli: Bdd Limits Model Report

@@ -1,0 +1,1 @@
+lib/mc/forward_idi.ml: Array Bdd Fsm Ici Limits List Log Model Report Trace

@@ -1,0 +1,1 @@
+lib/mc/forward_idi.mli: Bdd Ici Limits Model Report

@@ -1,0 +1,1 @@
+lib/mc/ici_method.ml: Bdd Fsm Ici Limits List Log Model Report Trace

@@ -1,0 +1,1 @@
+lib/mc/ici_method.mli: Bdd Ici Limits Model Report

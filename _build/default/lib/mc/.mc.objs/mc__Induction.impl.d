@@ -1,0 +1,1 @@
+lib/mc/induction.ml: Bdd Fsm Ici List Model Trace

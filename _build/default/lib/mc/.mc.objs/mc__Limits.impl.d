@@ -1,0 +1,1 @@
+lib/mc/limits.ml: Bdd Fun Printf Unix

@@ -1,0 +1,1 @@
+lib/mc/limits.mli: Bdd

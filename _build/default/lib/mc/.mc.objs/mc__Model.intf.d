@@ -1,0 +1,1 @@
+lib/mc/model.mli: Bdd Fsm

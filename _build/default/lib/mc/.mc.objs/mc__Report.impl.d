@@ -1,0 +1,1 @@
+lib/mc/report.ml: Bdd Format List Printf String

@@ -1,0 +1,1 @@
+lib/mc/report.mli: Bdd Format

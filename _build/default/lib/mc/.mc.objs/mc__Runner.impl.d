@@ -1,0 +1,1 @@
+lib/mc/runner.ml: Backward Explicit Fd Forward Forward_idi Ici_method String Xici

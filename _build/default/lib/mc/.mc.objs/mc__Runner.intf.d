@@ -1,0 +1,1 @@
+lib/mc/runner.mli: Bdd Ici Limits Model Report Xici

@@ -1,0 +1,1 @@
+lib/mc/trace.ml: Array Bdd Fsm Ici List

@@ -1,0 +1,1 @@
+lib/mc/xici.ml: Bdd Fsm Ici Limits List Log Model Report Trace

@@ -1,0 +1,1 @@
+lib/mc/xici.mli: Bdd Ici Limits Model Report

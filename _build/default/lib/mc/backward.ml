@@ -1,0 +1,48 @@
+(* Conventional backward traversal (Section II.B): G_0 = G (one
+   monolithic BDD -- this is where the exponential blowups of Tables 1-3
+   come from), G_{i+1} = G_0 /\ BackImage(delta, G_i); violation when the
+   start states escape G_i, convergence when G_{i+1} = G_i (constant-time
+   by canonicity). *)
+
+let run ?(limits = fun man -> Limits.unlimited man) ?image_via model =
+  let man = Model.man model in
+  let trans = model.Model.trans in
+  let lim = limits man in
+  let baseline = Bdd.created_nodes man in
+  let peak = Report.fresh_peak () in
+  let iterations = ref 0 in
+  let finish status =
+    Report.make ~model:model.Model.name ~method_name:"Bkwd" ~status
+      ~iterations:!iterations ~peak ~man ~baseline
+      ~time_s:(Limits.elapsed lim)
+  in
+  Limits.with_guard lim man (fun () ->
+    try
+      let g0 = Bdd.conj man (Model.property model) in
+      Limits.check lim man;
+      let rec iterate g gs =
+        Limits.check_iteration lim man ~iteration:!iterations;
+        Report.observe_set peak [ g ];
+        Log.iteration ~meth:"Bkwd" ~iteration:!iterations ~conjuncts:1
+          ~nodes:(Bdd.size g);
+        if not (Bdd.implies man model.Model.init g) then begin
+          let start =
+            Trace.pick trans (Bdd.band man model.Model.init (Bdd.bnot man g))
+          in
+          let gs_clists = List.rev_map (fun x -> [ x ]) gs in
+          finish (Report.Violated (Trace.backward trans ~gs:gs_clists ~start))
+        end
+        else begin
+          incr iterations;
+          let g' =
+            Bdd.band man g0 (Fsm.Trans.back_image ?via:image_via trans g)
+          in
+          if Bdd.equal g' g then begin
+            (* Converged: the last BackImage did not shrink the set. *)
+            finish Report.Proved
+          end
+          else iterate g' (g' :: gs)
+        end
+      in
+      iterate g0 [ g0 ]
+    with Limits.Exceeded why -> finish (Report.Exceeded why))

@@ -1,0 +1,9 @@
+(** Conventional backward traversal ("Bkwd"): the monolithic
+    G_{i+1} = G_0 /\ BackImage(delta, G_i) iteration whose BDD blowups
+    motivate the paper. *)
+
+val run :
+  ?limits:(Bdd.man -> Limits.t) ->
+  ?image_via:Fsm.Trans.image_via ->
+  Model.t ->
+  Report.t

@@ -1,0 +1,12 @@
+(** Explicit-state verification ("Expl"): Murphi-style breadth-first
+    search over concrete states in a hash table -- the brute-force
+    baseline the paper's introduction says has generally out-performed
+    BDD approaches on industrial examples [13].  Runs on the same
+    machines via [Fsm.Trans.step]; suitable when the reachable state
+    count and the input width are small.  The report's iteration count
+    is the BFS depth. *)
+
+val run : ?limits:(Bdd.man -> Limits.t) -> Model.t -> Report.t
+
+val run_full : ?limits:(Bdd.man -> Limits.t) -> Model.t -> Report.t * int
+(** Also returns the number of distinct reachable states visited. *)

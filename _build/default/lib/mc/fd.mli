@@ -1,0 +1,7 @@
+(** Forward traversal exploiting user-specified functional dependencies
+    ("FD", Hu & Dill DAC'93 [16]): the reachable set is kept as a
+    reduced BDD over independent variables plus dependency functions
+    v <-> f_v, which join the image computation's quantification
+    schedule.  Candidates come from [Model.fd_candidates]. *)
+
+val run : ?limits:(Bdd.man -> Limits.t) -> Model.t -> Report.t

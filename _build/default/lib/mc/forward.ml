@@ -1,0 +1,46 @@
+(* Conventional forward traversal (Section II.B): R_0 = S,
+   R_{i+1} = R_i \/ Image(delta, R_i), with the violation check
+   decomposed over the property conjuncts.  The image is computed from
+   the frontier (new states only), a standard optimisation that does not
+   change R_i or the iteration count. *)
+
+let run ?(limits = fun man -> Limits.unlimited man) model =
+  let man = Model.man model in
+  let trans = model.Model.trans in
+  let property = Ici.Clist.of_list man (Model.property model) in
+  let lim = limits man in
+  let baseline = Bdd.created_nodes man in
+  let peak = Report.fresh_peak () in
+  let iterations = ref 0 in
+  let finish status =
+    Report.make ~model:model.Model.name ~method_name:"Fwd" ~status
+      ~iterations:!iterations ~peak ~man ~baseline
+      ~time_s:(Limits.elapsed lim)
+  in
+  let violation reached rings =
+    match Ici.Clist.find_unimplied man reached property with
+    | None -> None
+    | Some c ->
+      let bad = Trace.pick trans (Bdd.band man reached (Bdd.bnot man c)) in
+      Some (Trace.forward trans ~rings:(List.rev rings) ~bad)
+  in
+  let rec iterate reached frontier rings =
+    Limits.check_iteration lim man ~iteration:!iterations;
+    Report.observe_set peak [ reached ];
+    Log.iteration ~meth:"Fwd" ~iteration:!iterations ~conjuncts:1
+      ~nodes:(Bdd.size reached);
+    match violation frontier rings with
+    | Some tr -> finish (Report.Violated tr)
+    | None ->
+      let img = Fsm.Trans.image trans frontier in
+      let reached' = Bdd.bor man reached img in
+      if Bdd.equal reached' reached then finish Report.Proved
+      else begin
+        incr iterations;
+        let frontier' = Bdd.band man img (Bdd.bnot man reached) in
+        iterate reached' frontier' (reached' :: rings)
+      end
+  in
+  Limits.with_guard lim man (fun () ->
+    try iterate model.Model.init model.Model.init [ model.Model.init ]
+    with Limits.Exceeded why -> finish (Report.Exceeded why))

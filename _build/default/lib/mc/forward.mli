@@ -1,0 +1,5 @@
+(** Conventional forward traversal ("Fwd" in the tables):
+    R_{i+1} = R_i \/ Image(delta, R_i), frontier-based, with decomposed
+    violation checks and onion-ring counterexamples. *)
+
+val run : ?limits:(Bdd.man -> Limits.t) -> Model.t -> Report.t

@@ -1,0 +1,109 @@
+(* Forward traversal over implicitly DISJOINED reachable sets: the dual
+   extension the paper points at in Section II.A ("dually, we can
+   compute the Image and PreImage of implicit disjunctions without
+   building the BDD for the entire disjunction").
+
+   The reachable set R_i is a list [r1; ...; rn] denoting r1 \/ ... \/
+   rn.  Image distributes over disjunction, the violation check
+   decomposes both ways (every part against every property conjunct),
+   and the whole XICI toolbox transfers by De Morgan duality: running
+   the evaluation/simplification policy on the complemented list
+   preserves /\ not r_j, i.e. preserves R; subsumption and termination
+   reduce to the Section III.B tautology test on complemented lists. *)
+
+let dual_improve man cfg parts =
+  let complemented = List.map (Bdd.bnot man) parts in
+  let improved = Ici.Policy.improve man cfg complemented in
+  List.map (Bdd.bnot man) improved
+
+(* Is the state set [p] subsumed by the implicit disjunction [parts]?
+   Exactly: not p \/ r1 \/ ... \/ rn must be a tautology. *)
+let subsumed ?stats man p parts =
+  Ici.Tautology.check ?stats man (Bdd.bnot man p :: parts)
+
+let find_violation man parts property =
+  List.fold_left
+    (fun acc p ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+        match Ici.Clist.find_unimplied man p property with
+        | Some g -> Some (Bdd.band man p (Bdd.bnot man g))
+        | None -> None))
+    None parts
+
+(* Counterexample: rings are disjunction lists; walk back from the bad
+   state picking predecessors inside ever-earlier rings. *)
+let trace_of trans rings bad_set =
+  let man = Fsm.Trans.man trans in
+  let levels = Fsm.Space.current_levels (Fsm.Trans.space trans) in
+  let rings = Array.of_list (List.rev rings) in
+  let bad = Trace.pick trans bad_set in
+  let member ring env = List.exists (fun p -> Bdd.eval man env p) ring in
+  let rec first_ring i = if member rings.(i) bad then i else first_ring (i + 1) in
+  let rec walk i state acc =
+    if i = 0 then state :: acc
+    else begin
+      let cube = Trace.state_cube man levels state in
+      let preds = Fsm.Trans.pre_image trans cube in
+      let inside =
+        List.find_map
+          (fun p ->
+            let s = Bdd.band man preds p in
+            if Bdd.is_false s then None else Some s)
+          rings.(i - 1)
+      in
+      match inside with
+      | Some s -> walk (i - 1) (Trace.pick trans s) (state :: acc)
+      | None -> invalid_arg "Forward_idi.trace_of: broken rings"
+    end
+  in
+  walk (first_ring 0) bad []
+
+let run ?(limits = fun man -> Limits.unlimited man)
+    ?(cfg = Ici.Policy.default) ?tautology_stats model =
+  let man = Model.man model in
+  let trans = model.Model.trans in
+  let property = Ici.Clist.of_list man (Model.property model) in
+  let lim = limits man in
+  let baseline = Bdd.created_nodes man in
+  let peak = Report.fresh_peak () in
+  let iterations = ref 0 in
+  let stats =
+    match tautology_stats with
+    | Some s -> s
+    | None -> Ici.Tautology.fresh_stats ()
+  in
+  let finish status =
+    Report.make ~model:model.Model.name ~method_name:"IDI" ~status
+      ~iterations:!iterations ~peak ~man ~baseline
+      ~time_s:(Limits.elapsed lim)
+  in
+  Limits.with_guard lim man (fun () ->
+      try
+        let rec iterate parts frontier rings =
+          Limits.check_iteration lim man ~iteration:!iterations;
+          Report.observe_set peak parts;
+          Log.iteration ~meth:"IDI" ~iteration:!iterations
+            ~conjuncts:(List.length parts)
+            ~nodes:(Bdd.size_list parts);
+          match find_violation man frontier property with
+          | Some bad -> finish (Report.Violated (trace_of trans rings bad))
+          | None ->
+            let images = List.map (Fsm.Trans.image trans) frontier in
+            let fresh =
+              List.filter
+                (fun p ->
+                  (not (Bdd.is_false p)) && not (subsumed ~stats man p parts))
+                images
+            in
+            if fresh = [] then finish Report.Proved
+            else begin
+              incr iterations;
+              let parts' = dual_improve man cfg (parts @ fresh) in
+              iterate parts' fresh (parts' :: rings)
+            end
+        in
+        let start = dual_improve man cfg [ model.Model.init ] in
+        iterate start start [ start ]
+      with Limits.Exceeded why -> finish (Report.Exceeded why))

@@ -1,0 +1,12 @@
+(** Forward traversal over implicitly disjoined reachable sets ("IDI"):
+    the De Morgan dual of the paper's method, using the same policy and
+    exact tautology machinery on complemented lists.  An extension
+    beyond the paper (which only notes the duality); compared in the
+    benchmark ablations. *)
+
+val run :
+  ?limits:(Bdd.man -> Limits.t) ->
+  ?cfg:Ici.Policy.config ->
+  ?tautology_stats:Ici.Tautology.stats ->
+  Model.t ->
+  Report.t

@@ -1,0 +1,11 @@
+(** The original implicitly-conjoined-invariants method ("ICI",
+    CAV'93): shape-preserving list iteration with Restrict
+    cross-simplification and the fast POINTWISE termination test, which
+    may fail to detect convergence (such runs end by iteration limit).
+    Requires the property as a user-supplied implicit conjunction. *)
+
+val run :
+  ?limits:(Bdd.man -> Limits.t) ->
+  ?cfg:Ici.Policy.config ->
+  Model.t ->
+  Report.t

@@ -1,0 +1,59 @@
+(* Direct inductiveness checking for implicit conjunctions.
+
+   An implicitly conjoined invariant list I is inductive when
+   init => I and I => BackImage(delta, I); by Theorem 1 the second
+   check decomposes per conjunct.  This is what "assisting invariants"
+   are: a user-supplied (or XICI-derived) inductive strengthening of
+   the property.  The checker reports which conjuncts fail and, for
+   each failure, a concrete counterexample-to-induction: a state
+   satisfying all the invariants with a successor violating the failing
+   conjunct. *)
+
+type failure = {
+  conjunct : Bdd.t; (* the conjunct that is not preserved *)
+  state : bool array; (* satisfies every invariant *)
+  successor : bool array; (* violates [conjunct] *)
+}
+
+type result =
+  | Inductive
+  | Not_implied_by_init of Bdd.t list
+  | Not_preserved of failure list
+
+(* Pick a counterexample-to-induction for conjunct [c]: a state in
+   (/\ invs) /\ PreImage(not c). *)
+let cti man trans invs c =
+  let bad_pre = Fsm.Trans.pre_image trans (Bdd.bnot man c) in
+  let candidates =
+    List.fold_left
+      (fun acc inv -> if Bdd.is_false acc then acc else Bdd.band man acc inv)
+      bad_pre invs
+  in
+  if Bdd.is_false candidates then None
+  else begin
+    let state = Trace.pick trans candidates in
+    let succs = Fsm.Trans.successors_of_state trans state in
+    let escape = Bdd.band man succs (Bdd.bnot man c) in
+    let successor = Trace.pick trans escape in
+    Some { conjunct = c; state; successor }
+  end
+
+let check ?(init = None) model invs =
+  let man = Model.man model in
+  let trans = model.Model.trans in
+  let invs = Ici.Clist.of_list man invs in
+  let init = match init with Some i -> i | None -> model.Model.init in
+  let unimplied =
+    List.filter (fun c -> not (Bdd.implies man init c)) invs
+  in
+  if unimplied <> [] then Not_implied_by_init unimplied
+  else begin
+    let failures = List.filter_map (cti man trans invs) invs in
+    if failures = [] then Inductive else Not_preserved failures
+  end
+
+(* Does the (assumed inductive) invariant list establish the model's
+   property?  The final step of an assisting-invariants proof. *)
+let establishes model invs =
+  let man = Model.man model in
+  Ici.Tautology.implies man invs (Model.property model)

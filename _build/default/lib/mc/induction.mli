@@ -1,0 +1,27 @@
+(** Direct inductiveness checking for implicitly conjoined invariants.
+
+    An invariant list I is inductive when [init => I] and
+    [I => BackImage(delta, I)] (decomposed per conjunct by Theorem 1).
+    Assisting invariants -- user-supplied or XICI-derived -- are exactly
+    inductive strengthenings of the property; this module lets
+    applications check candidates directly and obtain concrete
+    counterexamples-to-induction for the conjuncts that fail. *)
+
+type failure = {
+  conjunct : Bdd.t;  (** the conjunct that is not preserved *)
+  state : bool array;  (** satisfies every invariant *)
+  successor : bool array;  (** a successor violating [conjunct] *)
+}
+
+type result =
+  | Inductive
+  | Not_implied_by_init of Bdd.t list  (** conjuncts violated initially *)
+  | Not_preserved of failure list
+
+val check : ?init:Bdd.t option -> Model.t -> Bdd.t list -> result
+(** Check the list for inductiveness on the model's machine ([init]
+    overrides the model's start states). *)
+
+val establishes : Model.t -> Ici.Clist.t -> bool
+(** Does the invariant list imply the model's property?  Decided with
+    the exact implicit-implication test. *)

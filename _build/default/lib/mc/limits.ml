@@ -1,0 +1,58 @@
+(* Resource budgets, used to reproduce the paper's "Exceeded 60MB" /
+   "Exceeded 40 minutes" rows without actually burning the machine. *)
+
+exception Exceeded of string
+
+type t = {
+  max_created_nodes : int option;
+  max_live_nodes : int option;
+  max_seconds : float option;
+  max_iterations : int option;
+  baseline_nodes : int;
+  started_at : float;
+}
+
+let start ?max_created_nodes ?max_live_nodes ?max_seconds ?max_iterations man
+    =
+  {
+    max_created_nodes;
+    max_live_nodes;
+    max_seconds;
+    max_iterations;
+    baseline_nodes = Bdd.created_nodes man;
+    started_at = Unix.gettimeofday ();
+  }
+
+let unlimited man = start man
+
+let check t man =
+  (match t.max_created_nodes with
+  | Some n when Bdd.created_nodes man - t.baseline_nodes > n ->
+    raise (Exceeded (Printf.sprintf "exceeded %d BDD nodes" n))
+  | Some _ | None -> ());
+  (* Live nodes are the analog of the paper's resident-memory limit;
+     counting them scans the unique table, so this only fires from the
+     (sampled) progress hook and the per-iteration checks. *)
+  (match t.max_live_nodes with
+  | Some n when Bdd.live_nodes man > n ->
+    raise (Exceeded (Printf.sprintf "exceeded %d live BDD nodes" n))
+  | Some _ | None -> ());
+  match t.max_seconds with
+  | Some s when Unix.gettimeofday () -. t.started_at > s ->
+    raise (Exceeded (Printf.sprintf "exceeded %.0f seconds" s))
+  | Some _ | None -> ()
+
+let check_iteration t man ~iteration =
+  check t man;
+  match t.max_iterations with
+  | Some n when iteration > n ->
+    raise (Exceeded (Printf.sprintf "no convergence after %d iterations" n))
+  | Some _ | None -> ()
+
+let elapsed t = Unix.gettimeofday () -. t.started_at
+
+(* Install the manager progress hook for the duration of [f], so node
+   and time budgets interrupt even a single blown-up BDD operation. *)
+let with_guard t man f =
+  Bdd.set_progress_hook man (Some (fun man -> check t man));
+  Fun.protect ~finally:(fun () -> Bdd.set_progress_hook man None) f

@@ -1,0 +1,29 @@
+(** Resource budgets for verification runs, reproducing the paper's
+    "Exceeded 60MB" / "Exceeded 40 minutes" rows.  Node budgets count
+    BDD nodes created since the run started (the machine-independent
+    memory proxy). *)
+
+exception Exceeded of string
+
+type t
+
+val start :
+  ?max_created_nodes:int ->
+  ?max_live_nodes:int ->
+  ?max_seconds:float ->
+  ?max_iterations:int ->
+  Bdd.man ->
+  t
+
+val unlimited : Bdd.man -> t
+
+val check : t -> Bdd.man -> unit
+(** Raises [Exceeded] when a budget is blown. *)
+
+val check_iteration : t -> Bdd.man -> iteration:int -> unit
+val elapsed : t -> float
+
+val with_guard : t -> Bdd.man -> (unit -> 'a) -> 'a
+(** Run [f] with the manager's progress hook checking these budgets, so
+    [Exceeded] can interrupt even a single blown-up image computation
+    (the paper's "Exceeded 60MB" rows). *)

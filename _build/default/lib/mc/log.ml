@@ -1,0 +1,12 @@
+(* Shared log source for the verification methods: per-iteration debug
+   lines (set level Debug, e.g. via icv --verbose, to watch set sizes
+   evolve). *)
+
+let src = Logs.Src.create "mc" ~doc:"icbdd verification methods"
+
+module L = (val Logs.src_log src : Logs.LOG)
+
+let iteration ~meth ~iteration ~conjuncts ~nodes =
+  L.debug (fun m ->
+      m "%s iteration %d: %d conjunct(s), %d shared nodes" meth iteration
+        conjuncts nodes)

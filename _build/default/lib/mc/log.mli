@@ -1,0 +1,7 @@
+(** Log source for the verification methods ("mc"). *)
+
+val src : Logs.src
+
+val iteration :
+  meth:string -> iteration:int -> conjuncts:int -> nodes:int -> unit
+(** Debug-level per-iteration report. *)

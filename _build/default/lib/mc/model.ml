@@ -1,0 +1,28 @@
+(* A verification problem: machine + start states + property.
+
+   The property ("good states" G of Section II) is an implicit
+   conjunction of BDDs; monolithic methods conjoin it, list-based
+   methods keep it implicit.  [assisting] holds user-supplied assisting
+   invariants (extra lemma conjuncts, Section IV.A); [fd_candidates]
+   names the current-state levels the functional-dependency method may
+   try to eliminate (the method of [16] relies on user guidance). *)
+
+type t = {
+  name : string;
+  space : Fsm.Space.t;
+  trans : Fsm.Trans.t;
+  init : Bdd.t;
+  good : Bdd.t list;
+  assisting : Bdd.t list;
+  fd_candidates : int list;
+}
+
+let man m = Fsm.Space.man m.space
+
+let make ?(assisting = []) ?(fd_candidates = []) ~name ~space ~trans ~init
+    ~good () =
+  { name; space; trans; init; good; assisting; fd_candidates }
+
+(* The full property list actually verified: the property plus any
+   assisting invariants (which are themselves properties to prove). *)
+let property m = m.good @ m.assisting

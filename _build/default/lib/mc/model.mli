@@ -1,0 +1,35 @@
+(** A verification problem: machine, start states and property.
+
+    The property is an implicit conjunction of BDDs over current-state
+    levels; monolithic methods conjoin it, list-based methods keep it
+    implicit.  The verification question is the paper's Section II one:
+    is every reachable state good? *)
+
+type t = {
+  name : string;
+  space : Fsm.Space.t;
+  trans : Fsm.Trans.t;
+  init : Bdd.t;
+  good : Bdd.t list;  (** property as an implicit conjunction *)
+  assisting : Bdd.t list;
+      (** user-supplied assisting invariants (extra lemmas, themselves
+          verified); Section IV.A *)
+  fd_candidates : int list;
+      (** current-state levels the FD method may eliminate *)
+}
+
+val make :
+  ?assisting:Bdd.t list ->
+  ?fd_candidates:int list ->
+  name:string ->
+  space:Fsm.Space.t ->
+  trans:Fsm.Trans.t ->
+  init:Bdd.t ->
+  good:Bdd.t list ->
+  unit ->
+  t
+
+val man : t -> Bdd.man
+
+val property : t -> Bdd.t list
+(** [good @ assisting]: everything the run must prove. *)

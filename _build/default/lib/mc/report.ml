@@ -1,0 +1,83 @@
+(* Results of a verification run, carrying the measurements reported in
+   the paper's tables: iterations, the largest R_i/G_i representation in
+   BDD nodes (with the per-conjunct breakdown for implicit
+   conjunctions), and node-creation counts as the memory proxy. *)
+
+type trace = bool array list
+(* A counterexample: a path of concrete states, assignments indexed by
+   BDD level (current-state levels are meaningful). *)
+
+type status =
+  | Proved
+  | Violated of trace
+  | Exceeded of string
+
+type t = {
+  model : string;
+  method_name : string;
+  status : status;
+  iterations : int;
+  peak_set_nodes : int; (* largest representation of any R_i / G_i *)
+  peak_conjuncts : int list; (* conjunct sizes at the peak (desc) *)
+  nodes_created : int; (* BDD nodes created during the run *)
+  peak_live_nodes : int;
+  time_s : float;
+}
+
+let is_proved r = match r.status with Proved -> true | Violated _ | Exceeded _ -> false
+
+let status_string r =
+  match r.status with
+  | Proved -> "proved"
+  | Violated tr -> Printf.sprintf "violated (trace length %d)" (List.length tr)
+  | Exceeded why -> Printf.sprintf "EXCEEDED: %s" why
+
+(* Mirror the paper's "(i x j nodes)" / "(a, b, c)" annotations. *)
+let conjuncts_string = function
+  | [] | [ _ ] -> ""
+  | sizes ->
+    let uniform =
+      match sizes with
+      | s :: rest -> List.for_all (( = ) s) rest
+      | [] -> false
+    in
+    if uniform then
+      Printf.sprintf " (%d x %d nodes)" (List.length sizes) (List.hd sizes)
+    else
+      Printf.sprintf " (%s)" (String.concat ", " (List.map string_of_int sizes))
+
+let pp_row fmt r =
+  Format.fprintf fmt "%-8s %8.2fs %5d %10d %8d%s   %s" r.method_name r.time_s
+    r.iterations r.nodes_created r.peak_set_nodes
+    (conjuncts_string r.peak_conjuncts)
+    (status_string r)
+
+let header =
+  Printf.sprintf "%-8s %9s %5s %10s %8s   %s" "Meth." "Time" "Iter"
+    "NodesMade" "SetNodes" "Status"
+
+(* Running maximum tracker for the per-iteration set sizes. *)
+type peak = { mutable nodes : int; mutable conjuncts : int list }
+
+let fresh_peak () = { nodes = 0; conjuncts = [] }
+
+let observe_set peak (xs : Bdd.t list) =
+  let n = Bdd.size_list xs in
+  if n > peak.nodes then begin
+    peak.nodes <- n;
+    peak.conjuncts <-
+      List.sort (fun a b -> compare b a) (List.map Bdd.size xs)
+  end
+
+let make ~model ~method_name ~status ~iterations ~peak ~man ~baseline ~time_s =
+  {
+    model;
+    method_name;
+    status;
+    iterations;
+    peak_set_nodes = peak.nodes;
+    peak_conjuncts = (match peak.conjuncts with [ _ ] -> [] | l -> l);
+    nodes_created = Bdd.created_nodes man - baseline;
+    peak_live_nodes = Bdd.peak_live_nodes man;
+    time_s;
+  }

@@ -1,0 +1,52 @@
+(** Verification results with the measurements the paper tabulates:
+    iterations to convergence, largest per-iteration set representation
+    in BDD nodes (with the per-conjunct breakdown for implicit
+    conjunctions), node-creation counts, wall time. *)
+
+type trace = bool array list
+(** A counterexample path; each state is an assignment indexed by BDD
+    level (current-state levels are meaningful). *)
+
+type status = Proved | Violated of trace | Exceeded of string
+
+type t = {
+  model : string;
+  method_name : string;
+  status : status;
+  iterations : int;
+  peak_set_nodes : int;
+  peak_conjuncts : int list;
+  nodes_created : int;
+  peak_live_nodes : int;
+  time_s : float;
+}
+
+val is_proved : t -> bool
+val status_string : t -> string
+
+val conjuncts_string : int list -> string
+(** The paper's "(i x j nodes)" / "(a, b, c)" annotation. *)
+
+val pp_row : Format.formatter -> t -> unit
+val header : string
+
+(** {1 Peak tracking used by the method implementations} *)
+
+type peak
+
+val fresh_peak : unit -> peak
+
+val observe_set : peak -> Bdd.t list -> unit
+(** Record a per-iteration set representation (singleton list for
+    monolithic methods). *)
+
+val make :
+  model:string ->
+  method_name:string ->
+  status:status ->
+  iterations:int ->
+  peak:peak ->
+  man:Bdd.man ->
+  baseline:int ->
+  time_s:float ->
+  t

@@ -1,0 +1,21 @@
+(** Uniform dispatch over the five methods of the paper's tables. *)
+
+type meth = Forward | Backward | Fd | Ici | Xici | Idi | Explicit
+
+val all : meth list
+
+val paper_methods : meth list
+(** The five methods of the paper's tables ([Idi] and [Explicit] are
+    extensions: the De Morgan dual and the Murphi-style hash-table
+    baseline of the paper's introduction). *)
+
+val name : meth -> string
+val of_name : string -> meth option
+
+val run :
+  ?limits:(Bdd.man -> Limits.t) ->
+  ?xici_cfg:Ici.Policy.config ->
+  ?termination:Xici.termination ->
+  meth ->
+  Model.t ->
+  Report.t

@@ -1,0 +1,99 @@
+(* The extended ICI method of the paper (Section III): backward
+   traversal over implicit conjunctions with
+
+   - the automatic evaluation-and-simplification policy (Figure 1)
+     applied to the concatenated list G_0 @ BackImages, so good
+     conjunctions are found without user-supplied assisting invariants;
+   - the exact termination test (implicit-disjunction tautology with
+     Theorem-3 filtering and Shannon expansion).
+
+   [termination] selects the test for the ablation benchmarks:
+   - [`Exact_equal]   mutual implication (the paper's default);
+   - [`Exact_implication] one-sided G_i => G_{i+1}, sufficient because
+     the G_i are monotonically decreasing (noted but not exploited in
+     the paper's implementation);
+   - [`Pointwise]     the original ICI test (fast, may fail to detect). *)
+
+type termination = [ `Exact_equal | `Exact_implication | `Pointwise ]
+
+let lists_pointwise_equal a b =
+  List.length a = List.length b && List.for_all2 Bdd.equal a b
+
+(* [run_full] also returns the converged implicit conjunction (the
+   automatically derived invariants) when the run proves the property. *)
+let run_full ?(limits = fun man -> Limits.unlimited man)
+    ?(cfg = Ici.Policy.default) ?(termination = `Exact_equal)
+    ?(var_choice = Ici.Tautology.First_top) ?tautology_stats model =
+  let man = Model.man model in
+  let trans = model.Model.trans in
+  let lim = limits man in
+  let baseline = Bdd.created_nodes man in
+  let peak = Report.fresh_peak () in
+  let iterations = ref 0 in
+  let taut_stats =
+    match tautology_stats with
+    | Some s -> s
+    | None -> Ici.Tautology.fresh_stats ()
+  in
+  let finish status =
+    Report.make ~model:model.Model.name ~method_name:"XICI" ~status
+      ~iterations:!iterations ~peak ~man ~baseline
+      ~time_s:(Limits.elapsed lim)
+  in
+  let converged l l' =
+    match termination with
+    | `Pointwise -> lists_pointwise_equal l l'
+    | `Exact_implication ->
+      Ici.Tautology.implies ~var_choice ~stats:taut_stats man l l'
+    | `Exact_equal ->
+      Ici.Tautology.equal ~var_choice ~stats:taut_stats man l l'
+  in
+  let final = ref None in
+  Limits.with_guard lim man (fun () ->
+    try
+      let l0 = Ici.Clist.of_list man (Model.property model) in
+      let rec iterate l gs =
+        Limits.check_iteration lim man ~iteration:!iterations;
+        Report.observe_set peak l;
+        Log.iteration ~meth:"XICI" ~iteration:!iterations
+          ~conjuncts:(Ici.Clist.length l)
+          ~nodes:(Ici.Clist.shared_size l);
+        match Ici.Clist.find_unimplied man model.Model.init l with
+        | Some c ->
+          let start =
+            Trace.pick trans (Bdd.band man model.Model.init (Bdd.bnot man c))
+          in
+          finish
+            (Report.Violated (Trace.backward trans ~gs:(List.rev gs) ~start))
+        | None ->
+          incr iterations;
+          let back = List.map (Fsm.Trans.back_image trans) l in
+          let l' = Ici.Policy.improve man cfg (l0 @ back) in
+          if Ici.Clist.is_false l' then begin
+            (* Good states form an empty inductive core; any start state
+               is a violation unless init is empty. *)
+            match Ici.Clist.find_unimplied man model.Model.init l' with
+            | Some c ->
+              let start =
+                Trace.pick trans
+                  (Bdd.band man model.Model.init (Bdd.bnot man c))
+              in
+              finish
+                (Report.Violated
+                   (Trace.backward trans ~gs:(List.rev (l' :: gs)) ~start))
+            | None -> finish Report.Proved
+          end
+          else if converged l l' then begin
+            final := Some l';
+            finish Report.Proved
+          end
+          else iterate l' (l' :: gs)
+      in
+      let start_list = Ici.Policy.improve man cfg l0 in
+      let report = iterate start_list [ start_list ] in
+      (report, !final)
+    with Limits.Exceeded why -> (finish (Report.Exceeded why), None))
+
+let run ?limits ?cfg ?termination ?var_choice ?tautology_stats model =
+  fst
+    (run_full ?limits ?cfg ?termination ?var_choice ?tautology_stats model)

@@ -1,0 +1,27 @@
+(** The paper's extended method ("XICI"): backward traversal over
+    implicit conjunctions with the automatic evaluation-and-
+    simplification policy (Figure 1) and the exact termination test of
+    Section III.B. *)
+
+type termination = [ `Exact_equal | `Exact_implication | `Pointwise ]
+
+val run :
+  ?limits:(Bdd.man -> Limits.t) ->
+  ?cfg:Ici.Policy.config ->
+  ?termination:termination ->
+  ?var_choice:Ici.Tautology.var_choice ->
+  ?tautology_stats:Ici.Tautology.stats ->
+  Model.t ->
+  Report.t
+
+val run_full :
+  ?limits:(Bdd.man -> Limits.t) ->
+  ?cfg:Ici.Policy.config ->
+  ?termination:termination ->
+  ?var_choice:Ici.Tautology.var_choice ->
+  ?tautology_stats:Ici.Tautology.stats ->
+  Model.t ->
+  Report.t * Ici.Clist.t option
+(** Like {!run}, additionally returning the converged implicit
+    conjunction -- the automatically derived invariants -- when the
+    property was proved by reaching a fixpoint. *)

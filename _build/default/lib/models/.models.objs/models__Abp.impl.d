@@ -1,0 +1,1 @@
+lib/models/abp.ml: Array Bdd Bvec Fsm List Mc Printf

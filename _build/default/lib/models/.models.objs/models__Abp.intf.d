@@ -1,0 +1,1 @@
+lib/models/abp.mli: Fsm Mc

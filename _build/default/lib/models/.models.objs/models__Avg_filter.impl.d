@@ -1,0 +1,1 @@
+lib/models/avg_filter.ml: Array Bdd Bvec Fsm List Mc Printf

@@ -1,0 +1,1 @@
+lib/models/avg_filter.mli: Bdd Fsm Mc

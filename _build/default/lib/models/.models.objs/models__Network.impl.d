@@ -1,0 +1,1 @@
+lib/models/network.ml: Array Bdd Bvec Fsm Fun List Mc Printf

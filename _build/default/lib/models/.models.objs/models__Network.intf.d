@@ -1,0 +1,1 @@
+lib/models/network.mli: Fsm Mc

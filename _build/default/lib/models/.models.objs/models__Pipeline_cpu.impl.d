@@ -1,0 +1,1 @@
+lib/models/pipeline_cpu.ml: Array Bdd Bvec Fsm List Mc Printf

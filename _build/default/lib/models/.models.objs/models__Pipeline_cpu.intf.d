@@ -1,0 +1,1 @@
+lib/models/pipeline_cpu.mli: Fsm Mc

@@ -1,0 +1,1 @@
+lib/models/typed_fifo.ml: Array Bdd Bvec Fsm List Mc Printf

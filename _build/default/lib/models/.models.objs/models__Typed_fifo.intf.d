@@ -1,0 +1,1 @@
+lib/models/typed_fifo.mli: Fsm Mc

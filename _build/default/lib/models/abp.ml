@@ -1,0 +1,164 @@
+(* Alternating-bit link protocol: the "link-level protocol" class the
+   paper's introduction cites among its motivating industrial examples.
+
+   A sender transmits [width]-bit messages over a lossy frame channel;
+   the receiver acknowledges over a lossy ack channel.  Both sides tag
+   traffic with an alternating sequence bit.  Everything is
+   event-driven by one nondeterministic action per step:
+
+     Send      sender (re)transmits its current message + sequence bit
+     DropF     the frame channel loses its frame
+     Deliver   the receiver consumes the frame; if the sequence bit is
+               the expected one it accepts the data, flips its expected
+               bit and queues an acknowledgment
+     DropA     the ack channel loses its ack
+     Ack       the sender consumes the ack; on a matching sequence bit
+               it picks a fresh message (nondeterministic) and flips
+               its sequence bit
+     Idle      nothing happens
+
+   Safety (the classic ABP invariants, one conjunct each):
+
+     P1  an in-flight frame carrying the sender's current sequence bit
+         carries the sender's current message;
+     P2  once the receiver's expected bit has moved past the sender's
+         bit, the last accepted message is the sender's message (no
+         corruption, no duplication);
+     P3  an in-flight ack with the sender's sequence bit implies the
+         receiver has already flipped past it.
+
+   [bug] makes the receiver accept frames regardless of the sequence
+   bit -- the classic retransmission-duplication bug, which corrupts
+   [last accepted] and violates P2. *)
+
+type params = { width : int; bug : bool }
+
+let default = { width = 2; bug = false }
+
+let name p =
+  Printf.sprintf "abp(width=%d%s)" p.width (if p.bug then ",bug" else "")
+
+type action = Idle | Send | Drop_frame | Deliver | Drop_ack | Ack
+
+type handles = {
+  sender_msg : Fsm.Space.word;
+  sender_seq : Fsm.Space.bit;
+  frame_valid : Fsm.Space.bit;
+  frame_seq : Fsm.Space.bit;
+  frame_data : Fsm.Space.word;
+  ack_valid : Fsm.Space.bit;
+  ack_seq : Fsm.Space.bit;
+  recv_expected : Fsm.Space.bit;
+  recv_data : Fsm.Space.word;
+  act : int array;
+  fresh : int array;
+}
+
+let make_full p =
+  assert (p.width >= 1);
+  let sp = Fsm.Space.create () in
+  (* Inputs first (see the other models), then sender, channels,
+     receiver. *)
+  let act_bits = Fsm.Space.input_word ~name:"act" sp ~width:3 in
+  let fresh_bits = Fsm.Space.input_word ~name:"fresh" sp ~width:p.width in
+  let sender_msg = Fsm.Space.state_word ~name:"smsg" sp ~width:p.width in
+  let sender_seq = Fsm.Space.state_bit ~name:"sseq" sp in
+  let frame_valid = Fsm.Space.state_bit ~name:"fval" sp in
+  let frame_seq = Fsm.Space.state_bit ~name:"fseq" sp in
+  let frame_data = Fsm.Space.state_word ~name:"fdata" sp ~width:p.width in
+  let ack_valid = Fsm.Space.state_bit ~name:"aval" sp in
+  let ack_seq = Fsm.Space.state_bit ~name:"aseq" sp in
+  let recv_expected = Fsm.Space.state_bit ~name:"rexp" sp in
+  let recv_data = Fsm.Space.state_word ~name:"rdata" sp ~width:p.width in
+  let man = Fsm.Space.man sp in
+  let act = Fsm.Space.input_vec sp act_bits in
+  let fresh = Fsm.Space.input_vec sp fresh_bits in
+  let is_act a =
+    let code =
+      match a with
+      | Idle -> 0 | Send -> 1 | Drop_frame -> 2 | Deliver -> 3
+      | Drop_ack -> 4 | Ack -> 5
+    in
+    Bvec.eq man act (Bvec.const man ~width:3 code)
+  in
+  let smsg = Fsm.Space.cur_vec sp sender_msg in
+  let sseq = Fsm.Space.cur sp sender_seq in
+  let fval = Fsm.Space.cur sp frame_valid in
+  let fseq = Fsm.Space.cur sp frame_seq in
+  let fdata = Fsm.Space.cur_vec sp frame_data in
+  let aval = Fsm.Space.cur sp ack_valid in
+  let aseq = Fsm.Space.cur sp ack_seq in
+  let rexp = Fsm.Space.cur sp recv_expected in
+  let rdata = Fsm.Space.cur_vec sp recv_data in
+  let input_constraint =
+    Bdd.conj man
+      [
+        Bvec.ult man act (Bvec.const man ~width:3 6);
+        Bdd.bimp man (is_act Drop_frame) fval;
+        Bdd.bimp man (is_act Deliver) fval;
+        Bdd.bimp man (is_act Drop_ack) aval;
+        Bdd.bimp man (is_act Ack) aval;
+      ]
+  in
+  let deliver = is_act Deliver in
+  let accept =
+    (* The receiver accepts when the sequence bit matches; the bug
+       accepts everything. *)
+    if p.bug then deliver
+    else Bdd.band man deliver (Bdd.biff man fseq rexp)
+  in
+  let good_ack = Bdd.band man (is_act Ack) (Bdd.biff man aseq sseq) in
+  let word_assigns word value =
+    List.init (Array.length word) (fun i ->
+        (word.(i), Bvec.get value i))
+  in
+  let assigns =
+    word_assigns sender_msg (Bvec.mux man good_ack fresh smsg)
+    @ [ (sender_seq, Bdd.bxor man sseq good_ack) ]
+    @ [ (frame_valid,
+         Bdd.ite man (is_act Send) (Bdd.tru man)
+           (Bdd.ite man
+              (Bdd.bor man (is_act Drop_frame) deliver)
+              (Bdd.fls man) fval));
+        (frame_seq, Bdd.ite man (is_act Send) sseq fseq) ]
+    @ word_assigns frame_data (Bvec.mux man (is_act Send) smsg fdata)
+    @ [ (ack_valid,
+         Bdd.ite man accept (Bdd.tru man)
+           (Bdd.ite man
+              (Bdd.bor man (is_act Drop_ack) (is_act Ack))
+              (Bdd.fls man) aval));
+        (ack_seq, Bdd.ite man accept fseq aseq);
+        (recv_expected, Bdd.bxor man rexp accept) ]
+    @ word_assigns recv_data (Bvec.mux man accept fdata rdata)
+  in
+  let trans = Fsm.Trans.make ~input_constraint sp ~assigns in
+  let init =
+    Bdd.conj man
+      [ Bvec.is_zero man smsg; Bdd.bnot man sseq; Bdd.bnot man fval;
+        Bdd.bnot man fseq; Bvec.is_zero man fdata; Bdd.bnot man aval;
+        Bdd.bnot man aseq; Bdd.bnot man rexp; Bvec.is_zero man rdata ]
+  in
+  let good =
+    [
+      (* P1: in-flight frame with the current sequence bit carries the
+         current message. *)
+      Bdd.bimp man
+        (Bdd.band man fval (Bdd.biff man fseq sseq))
+        (Bvec.eq man fdata smsg);
+      (* P2: expected bit moved past the sender's => last accepted data
+         is the sender's message. *)
+      Bdd.bimp man
+        (Bdd.bnot man (Bdd.biff man rexp sseq))
+        (Bvec.eq man rdata smsg);
+      (* P3: an in-flight ack with the sender's bit means the receiver
+         already flipped. *)
+      Bdd.bimp man
+        (Bdd.band man aval (Bdd.biff man aseq sseq))
+        (Bdd.bnot man (Bdd.biff man rexp sseq));
+    ]
+  in
+  ( Mc.Model.make ~name:(name p) ~space:sp ~trans ~init ~good (),
+    { sender_msg; sender_seq; frame_valid; frame_seq; frame_data; ack_valid;
+      ack_seq; recv_expected; recv_data; act = act_bits; fresh = fresh_bits } )
+
+let make p = fst (make_full p)

@@ -1,0 +1,35 @@
+(** Alternating-bit link protocol (the "link-level protocol" class of
+    the paper's introduction): lossy frame and acknowledgment channels
+    with alternating sequence bits.  Property: the three classic ABP
+    safety invariants (in-flight integrity, delivered-message
+    correctness, acknowledgment consistency), one conjunct each. *)
+
+type params = { width : int; bug : bool }
+
+val default : params
+(** 2-bit messages, no bug. *)
+
+val name : params -> string
+
+type action = Idle | Send | Drop_frame | Deliver | Drop_ack | Ack
+
+type handles = {
+  sender_msg : Fsm.Space.word;
+  sender_seq : Fsm.Space.bit;
+  frame_valid : Fsm.Space.bit;
+  frame_seq : Fsm.Space.bit;
+  frame_data : Fsm.Space.word;
+  ack_valid : Fsm.Space.bit;
+  ack_seq : Fsm.Space.bit;
+  recv_expected : Fsm.Space.bit;
+  recv_data : Fsm.Space.word;
+  act : int array;
+  fresh : int array;
+}
+
+val make : params -> Mc.Model.t
+(** [bug] makes the receiver ignore the sequence bit (duplication /
+    corruption on retransmission), violating the delivered-message
+    invariant. *)
+
+val make_full : params -> Mc.Model.t * handles

@@ -1,0 +1,202 @@
+(* Processors sending messages through a network (Section IV.A).
+
+   [procs] processors non-deterministically issue requests into a
+   non-message-order-preserving network, modelled as a [procs]-element
+   array of messages carrying a valid bit, a req/ack flag and a 4-bit
+   return address.  A server non-deterministically pulls any request and
+   turns it into an acknowledgment; acknowledgments are delivered to the
+   addressed processor in any order.  Each processor counts its
+   outstanding messages.  The property: every counter equals the number
+   of in-flight messages addressed to its processor -- one conjunct per
+   processor.
+
+   The counters are functionally determined by the network contents,
+   which is what the FD method exploits (its candidate variables are the
+   counter bits).
+
+   [bug] makes the server drop a request instead of acknowledging it
+   (counter never decremented), planting a real violation. *)
+
+type params = { procs : int; bug : bool }
+
+let default = { procs = 4; bug = false }
+
+let addr_width = 4 (* the paper assumes n < 16: IDs are 4 bits *)
+
+let rec bits_for n = if n <= 0 then 0 else 1 + bits_for (n / 2)
+
+let name p =
+  Printf.sprintf "network(procs=%d%s)" p.procs (if p.bug then ",bug" else "")
+
+type action = Idle | Issue | Serve | Deliver
+
+type handles = {
+  counters : Fsm.Space.word array;
+  valids : Fsm.Space.bit array;
+  reqs : Fsm.Space.bit array;
+  addrs : Fsm.Space.word array;
+  act : int array;
+  sel : int array;
+  preq : int array;
+}
+
+let make_full p =
+  assert (p.procs >= 1 && p.procs < 16);
+  let n = p.procs in
+  let cwidth = bits_for n in
+  let swidth = max 1 (bits_for (n - 1)) in
+  let sp = Fsm.Space.create () in
+  (* Variable order: inputs at the top (composed images branch on
+     them), then the network slots (valid, req/ack flag, address
+     grouped per slot), then the counters.  The per-processor property
+     conjunct scans the slots accumulating a bounded partial count and
+     compares against the counter at the end, which keeps it small. *)
+  let act_bits = Fsm.Space.input_word ~name:"act" sp ~width:2 in
+  let sel_bits = Fsm.Space.input_word ~name:"sel" sp ~width:swidth in
+  let preq_bits = Fsm.Space.input_word ~name:"preq" sp ~width:addr_width in
+  let valids = Array.make n { Fsm.Space.cur = -1; next = -1 } in
+  let reqs = Array.make n { Fsm.Space.cur = -1; next = -1 } in
+  let addrs = Array.make n [||] in
+  for s = 0 to n - 1 do
+    valids.(s) <- Fsm.Space.state_bit ~name:(Printf.sprintf "val%d" s) sp;
+    reqs.(s) <- Fsm.Space.state_bit ~name:(Printf.sprintf "req%d" s) sp;
+    addrs.(s) <-
+      Fsm.Space.state_word ~name:(Printf.sprintf "addr%d" s) sp
+        ~width:addr_width
+  done;
+  let counters =
+    Array.init n (fun i ->
+        Fsm.Space.state_word ~name:(Printf.sprintf "cnt%d" i) sp
+          ~width:cwidth)
+  in
+  let man = Fsm.Space.man sp in
+  let act = Fsm.Space.input_vec sp act_bits in
+  let sel = Fsm.Space.input_vec sp sel_bits in
+  let preq = Fsm.Space.input_vec sp preq_bits in
+  let is_act a =
+    let code =
+      match a with Idle -> 0 | Issue -> 1 | Serve -> 2 | Deliver -> 3
+    in
+    Bvec.eq man act (Bvec.const man ~width:2 code)
+  in
+  let sel_is s = Bvec.eq man sel (Bvec.const man ~width:swidth s) in
+  let preq_is q = Bvec.eq man preq (Bvec.const man ~width:addr_width q) in
+  let cur_valid s = Fsm.Space.cur sp valids.(s) in
+  let cur_req s = Fsm.Space.cur sp reqs.(s) in
+  let cur_addr s = Fsm.Space.cur_vec sp addrs.(s) in
+  let issue = is_act Issue and serve = is_act Serve in
+  let deliver = is_act Deliver in
+  (* Legal inputs per state; Idle keeps the machine total. *)
+  let legal_slot =
+    if n = 1 lsl swidth then Bdd.tru man
+    else Bvec.ult man sel (Bvec.const man ~width:swidth n)
+  in
+  let issue_ok s =
+    Bdd.band man (sel_is s) (Bdd.bnot man (cur_valid s))
+  in
+  let serve_ok s =
+    Bdd.band man (sel_is s) (Bdd.band man (cur_valid s) (cur_req s))
+  in
+  let deliver_ok s =
+    Bdd.conj man
+      [ sel_is s; cur_valid s; Bdd.bnot man (cur_req s);
+        Bvec.eq man preq (cur_addr s) ]
+  in
+  let any f = Bdd.disj man (List.init n f) in
+  let input_constraint =
+    Bdd.conj man
+      [
+        Bdd.bimp man issue
+          (Bdd.conj man
+             [ legal_slot; any issue_ok;
+               Bvec.ult man preq (Bvec.const man ~width:addr_width n) ]);
+        Bdd.bimp man serve (Bdd.band man legal_slot (any serve_ok));
+        Bdd.bimp man deliver (Bdd.band man legal_slot (any deliver_ok));
+      ]
+  in
+  (* Per-slot updates. *)
+  let slot_assigns s =
+    let here = sel_is s in
+    let v' =
+      Bdd.ite man
+        (Bdd.band man issue here)
+        (Bdd.tru man)
+        (Bdd.ite man (Bdd.band man deliver here) (Bdd.fls man) (cur_valid s))
+    in
+    let r' =
+      Bdd.ite man
+        (Bdd.band man issue here)
+        (Bdd.tru man)
+        (Bdd.ite man (Bdd.band man serve here)
+           (if p.bug then
+              (* BUG: the server silently drops the request. *)
+              cur_req s
+            else Bdd.fls man)
+           (cur_req s))
+    in
+    let v' =
+      if p.bug then
+        (* BUG: dropping = clearing the valid bit on serve. *)
+        Bdd.ite man (Bdd.band man serve here) (Bdd.fls man) v'
+      else v'
+    in
+    let a' =
+      Bvec.mux man (Bdd.band man issue here) preq (cur_addr s)
+    in
+    ((valids.(s), v') :: (reqs.(s), r')
+    :: List.init addr_width (fun b -> (addrs.(s).(b), a'.(b))))
+  in
+  (* Per-processor counter updates. *)
+  let counter_assigns q =
+    let c = Fsm.Space.cur_vec sp counters.(q) in
+    let inc = Bdd.band man issue (preq_is q) in
+    let dec = Bdd.band man deliver (preq_is q) in
+    let plus = Bvec.add man c (Bvec.const man ~width:cwidth 1) in
+    let minus = Bvec.sub man c (Bvec.const man ~width:cwidth 1) in
+    let c' = Bvec.mux man inc plus (Bvec.mux man dec minus c) in
+    List.init cwidth (fun b -> (counters.(q).(b), c'.(b)))
+  in
+  let assigns =
+    List.concat
+      (List.init n slot_assigns @ List.init n counter_assigns)
+  in
+  let trans = Fsm.Trans.make ~input_constraint sp ~assigns in
+  let init =
+    Bdd.conj man
+      (List.init n (fun s ->
+           Bdd.conj man
+             [ Bdd.bnot man (cur_valid s); Bdd.bnot man (cur_req s);
+               Bvec.is_zero man (cur_addr s);
+               Bvec.is_zero man (Fsm.Space.cur_vec sp counters.(s)) ]))
+  in
+  (* good_q: counter q equals the number of in-flight messages addressed
+     to q (requests and acknowledgments both count as outstanding). *)
+  let good_for q =
+    let count =
+      List.fold_left
+        (fun acc s ->
+          let here =
+            Bdd.band man (cur_valid s)
+              (Bvec.eq man (cur_addr s)
+                 (Bvec.const man ~width:addr_width q))
+          in
+          let one = Bvec.zero_extend man ~width:cwidth [| here |] in
+          Bvec.add man acc one)
+        (Bvec.zero man ~width:cwidth)
+        (List.init n Fun.id)
+    in
+    Bvec.eq man (Fsm.Space.cur_vec sp counters.(q)) count
+  in
+  let good = List.init n good_for in
+  let fd_candidates =
+    List.concat
+      (List.init n (fun q ->
+           Array.to_list counters.(q)
+           |> List.map (fun (b : Fsm.Space.bit) -> b.cur)))
+  in
+  ( Mc.Model.make ~fd_candidates ~name:(name p) ~space:sp ~trans ~init ~good
+      (),
+    { counters; valids; reqs; addrs; act = act_bits; sel = sel_bits;
+      preq = preq_bits } )
+
+let make p = fst (make_full p)

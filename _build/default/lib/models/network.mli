@@ -1,0 +1,39 @@
+(** Processors communicating through a non-order-preserving network
+    (Section IV.A).  Property: each processor's outstanding-message
+    counter equals the number of in-flight messages addressed to it
+    (one conjunct per processor).  The counters are functionally
+    determined by the network contents; the model exposes the counter
+    bits as FD candidates. *)
+
+type params = { procs : int; bug : bool }
+
+val default : params
+(** 4 processors, no bug. *)
+
+val addr_width : int
+(** Return addresses are 4 bits (the paper assumes fewer than 16
+    processors). *)
+
+val name : params -> string
+
+val make : params -> Mc.Model.t
+(** [bug] makes the server drop requests instead of acknowledging them,
+    leaving the counter permanently out of sync. *)
+
+(**/**)
+
+type action = Idle | Issue | Serve | Deliver
+(** Exposed for the test suite's concrete reference simulator. *)
+
+type handles = {
+  counters : Fsm.Space.word array;
+  valids : Fsm.Space.bit array;
+  reqs : Fsm.Space.bit array;
+  addrs : Fsm.Space.word array;
+  act : int array;
+  sel : int array;
+  preq : int array;
+}
+
+val make_full : params -> Mc.Model.t * handles
+(** [make] plus the variable handles, for reference simulators. *)

@@ -1,0 +1,231 @@
+(* The pipelined-processor example of Section IV.B (Figure 3): a
+   three-stage pipeline (fetch, execute, writeback) with a register
+   bypass path and a branch stall, verified against a non-pipelined
+   specification executing the same non-deterministic instruction
+   stream through a two-deep instruction buffer.
+
+   Instructions: a 3-bit opcode, source and destination register fields
+   and an immediate field.  NOP and BR do nothing (BR stalls the
+   pipeline); ST is a no-op (memory is abstracted away); LD loads the
+   immediate; ADD/SUB accumulate into the destination; MOV copies; SR
+   shifts the destination right by one bit.
+
+   Property: the two register files always agree (one conjunct per
+   register bit).  [assisted] adds the hand-constructed assisting
+   invariants of the paper's footnote experiment (latch equality,
+   execute-stage control equality, and the execute-value lemma).
+
+   [bug] removes the register bypass path: a classic pipeline bug that
+   yields a real counterexample (LD r1; ADD r0,r1). *)
+
+type params = { regs : int; width : int; assisted : bool; bug : bool }
+
+let default = { regs = 2; width = 1; assisted = false; bug = false }
+
+let name p =
+  Printf.sprintf "pipeline-cpu(regs=%d,width=%d%s%s)" p.regs p.width
+    (if p.assisted then ",assisted" else "")
+    (if p.bug then ",no-bypass" else "")
+
+let op_nop = 0
+let op_br = 1
+let op_ld = 2
+let op_st = 3
+let op_add = 4
+let op_sub = 5
+let op_mov = 6
+let op_sr = 7
+
+let rec bits_for n = if n <= 0 then 0 else 1 + bits_for (n / 2)
+
+(* Field offsets within an instruction word, LSB first:
+   opcode[3] src[r] dst[r] imm[B]. *)
+type layout = { r : int; b : int; iw : int }
+
+let layout p =
+  let r = max 1 (bits_for (p.regs - 1)) in
+  { r; b = p.width; iw = 3 + r + r + p.width }
+
+let field lay vec = function
+  | `Op -> Array.sub vec 0 3
+  | `Src -> Array.sub vec 3 lay.r
+  | `Dst -> Array.sub vec (3 + lay.r) lay.r
+  | `Imm -> Array.sub vec (3 + (2 * lay.r)) lay.b
+
+type handles = {
+  f : Fsm.Space.word;
+  b1 : Fsm.Space.word;
+  b2 : Fsm.Space.word;
+  e_we : Fsm.Space.bit;
+  e_isbr : Fsm.Space.bit;
+  e_dst : Fsm.Space.word;
+  e_val : Fsm.Space.word;
+  rf : Fsm.Space.word array;
+  rfs : Fsm.Space.word array;
+  instr_in : int array;
+}
+
+let make_full p =
+  assert (p.regs >= 2 && p.width >= 1);
+  let lay = layout p in
+  let sp = Fsm.Space.create () in
+  (* Variable order: the instruction input at the top (composed images
+     branch on it), then the whole pipelined implementation (F latch,
+     execute-stage latch, register file), then the whole specification
+     (instruction buffers, its register file).  Grouping each machine's
+     variables together is how a module-structured description (the
+     paper's Ever input) orders them -- and it is exactly what makes
+     the monolithic sets of Table 3 blow up: every cross-machine
+     equality spans the distance between the two groups. *)
+  let instr_in = Fsm.Space.input_word ~name:"instr" sp ~width:lay.iw in
+  let f = Array.make lay.iw { Fsm.Space.cur = -1; next = -1 } in
+  for i = 0 to lay.iw - 1 do
+    f.(i) <- Fsm.Space.state_bit ~name:(Printf.sprintf "f[%d]" i) sp
+  done;
+  let e_we = Fsm.Space.state_bit ~name:"e_we" sp in
+  let e_isbr = Fsm.Space.state_bit ~name:"e_isbr" sp in
+  let e_dst = Fsm.Space.state_word ~name:"e_dst" sp ~width:lay.r in
+  let e_val = Fsm.Space.state_word ~name:"e_val" sp ~width:lay.b in
+  let rf =
+    Array.init p.regs (fun i ->
+        Fsm.Space.state_word ~name:(Printf.sprintf "rf%d" i) sp ~width:lay.b)
+  in
+  let b1 = Array.make lay.iw { Fsm.Space.cur = -1; next = -1 } in
+  for i = 0 to lay.iw - 1 do
+    b1.(i) <- Fsm.Space.state_bit ~name:(Printf.sprintf "b1[%d]" i) sp
+  done;
+  let b2 = Array.make lay.iw { Fsm.Space.cur = -1; next = -1 } in
+  for i = 0 to lay.iw - 1 do
+    b2.(i) <- Fsm.Space.state_bit ~name:(Printf.sprintf "b2[%d]" i) sp
+  done;
+  let rfs =
+    Array.init p.regs (fun i ->
+        Fsm.Space.state_word ~name:(Printf.sprintf "rfs%d" i) sp ~width:lay.b)
+  in
+  let man = Fsm.Space.man sp in
+  let cur = Fsm.Space.cur_vec sp in
+  let fv = cur f and b1v = cur b1 and b2v = cur b2 in
+  let e_wev = Fsm.Space.cur sp e_we in
+  let e_isbrv = Fsm.Space.cur sp e_isbr in
+  let e_dstv = cur e_dst and e_valv = cur e_val in
+  let rfv = Array.map cur rf and rfsv = Array.map cur rfs in
+  let input = Fsm.Space.input_vec sp instr_in in
+  let is_op opv code = Bvec.eq man opv (Bvec.const man ~width:3 code) in
+  let decode_we opv =
+    Bdd.disj man
+      (List.map (is_op opv) [ op_ld; op_add; op_sub; op_mov; op_sr ])
+  in
+  let read file idx =
+    (* Multiplexed register-file read. *)
+    let sel i = Bvec.eq man idx (Bvec.const man ~width:lay.r i) in
+    let init = file.(0) in
+    List.fold_left
+      (fun acc i -> Bvec.mux man (sel i) file.(i) acc)
+      init
+      (List.init (p.regs - 1) (fun i -> i + 1))
+  in
+  let exec_val opv imm srcval dstval =
+    let zero = Bvec.zero man ~width:lay.b in
+    let sr =
+      Bvec.zero_extend man ~width:lay.b
+        (Bvec.shift_right_const man ~by:1 dstval)
+    in
+    Bvec.mux man (is_op opv op_ld) imm
+      (Bvec.mux man (is_op opv op_add)
+         (Bvec.add man dstval srcval)
+         (Bvec.mux man (is_op opv op_sub)
+            (Bvec.sub man dstval srcval)
+            (Bvec.mux man (is_op opv op_mov) srcval
+               (Bvec.mux man (is_op opv op_sr) sr zero))))
+  in
+  (* Fetch: a branch anywhere in the pipe forces NOPs in. *)
+  let f_op = field lay fv `Op in
+  let stall = Bdd.bor man (is_op f_op op_br) e_isbrv in
+  let eff_instr = Bvec.mux man stall (Bvec.zero man ~width:lay.iw) input in
+  (* Execute: operands come from the register file or, when the
+     preceding instruction writes the needed register, from the bypass
+     path ([bug] removes the bypass). *)
+  let operand idx =
+    let from_rf = read rfv idx in
+    if p.bug then from_rf
+    else
+      Bvec.mux man
+        (Bdd.band man e_wev (Bvec.eq man e_dstv idx))
+        e_valv from_rf
+  in
+  let f_src = field lay fv `Src
+  and f_dst = field lay fv `Dst
+  and f_imm = field lay fv `Imm in
+  let srcval = operand f_src and dstval = operand f_dst in
+  let new_e_val = exec_val f_op f_imm srcval dstval in
+  (* Writeback. *)
+  let rf_next i =
+    Bvec.mux man
+      (Bdd.band man e_wev
+         (Bvec.eq man e_dstv (Bvec.const man ~width:lay.r i)))
+      e_valv rfv.(i)
+  in
+  (* Specification: execute B2 atomically against its register file. *)
+  let b2_op = field lay b2v `Op
+  and b2_src = field lay b2v `Src
+  and b2_dst = field lay b2v `Dst
+  and b2_imm = field lay b2v `Imm in
+  let s_we = decode_we b2_op in
+  let s_val = exec_val b2_op b2_imm (read rfsv b2_src) (read rfsv b2_dst) in
+  let rfs_next i =
+    Bvec.mux man
+      (Bdd.band man s_we
+         (Bvec.eq man b2_dst (Bvec.const man ~width:lay.r i)))
+      s_val rfsv.(i)
+  in
+  let word_assigns word value =
+    List.init (Array.length word) (fun i -> (word.(i), Bvec.get value i))
+  in
+  let assigns =
+    word_assigns f eff_instr
+    @ word_assigns b1 eff_instr
+    @ word_assigns b2 b1v
+    @ [ (e_we, decode_we f_op); (e_isbr, is_op f_op op_br) ]
+    @ word_assigns e_dst f_dst
+    @ word_assigns e_val new_e_val
+    @ List.concat (List.init p.regs (fun i -> word_assigns rf.(i) (rf_next i)))
+    @ List.concat
+        (List.init p.regs (fun i -> word_assigns rfs.(i) (rfs_next i)))
+  in
+  let trans = Fsm.Trans.make sp ~assigns in
+  let init =
+    Bdd.conj man
+      (Bvec.is_zero man fv :: Bvec.is_zero man b1v :: Bvec.is_zero man b2v
+      :: Bdd.bnot man e_wev :: Bdd.bnot man e_isbrv
+      :: Bvec.is_zero man e_dstv :: Bvec.is_zero man e_valv
+      :: List.init p.regs (fun i ->
+             Bdd.band man
+               (Bvec.is_zero man rfv.(i))
+               (Bvec.is_zero man rfsv.(i))))
+  in
+  let good =
+    List.concat
+      (List.init p.regs (fun i -> Bvec.eq_bits man rfv.(i) rfsv.(i)))
+  in
+  let assisting =
+    if not p.assisted then []
+    else begin
+      (* Hand-constructed assisting invariants (footnote of Section
+         IV.B): the instruction latches agree; the execute-stage control
+         fields mirror B2's decode; and the execute-stage value equals
+         what the specification is about to compute for B2. *)
+      let latch_eq = Bvec.eq man fv b1v in
+      let ctrl_eq =
+        Bdd.conj man
+          [ Bdd.biff man e_wev (decode_we b2_op);
+            Bdd.biff man e_isbrv (is_op b2_op op_br);
+            Bvec.eq man e_dstv b2_dst ]
+      in
+      let val_eq = Bdd.bimp man e_wev (Bvec.eq man e_valv s_val) in
+      [ latch_eq; ctrl_eq; val_eq ]
+    end
+  in
+  ( Mc.Model.make ~assisting ~name:(name p) ~space:sp ~trans ~init ~good (),
+    { f; b1; b2; e_we; e_isbr; e_dst; e_val; rf; rfs; instr_in } )
+
+let make p = fst (make_full p)

@@ -1,0 +1,48 @@
+(** The pipelined processor (Section IV.B, Figure 3): three-stage
+    pipeline with register bypass and branch stall, against a
+    non-pipelined specification fed through a two-deep instruction
+    buffer.  Property: the register files always agree (one conjunct
+    per register bit).  [assisted] adds the hand-constructed invariants
+    of the paper's footnote experiment. *)
+
+type params = { regs : int; width : int; assisted : bool; bug : bool }
+
+val default : params
+(** 2 registers, 1-bit datapath. *)
+
+val name : params -> string
+
+val op_nop : int
+val op_br : int
+val op_ld : int
+val op_st : int
+val op_add : int
+val op_sub : int
+val op_mov : int
+val op_sr : int
+
+type layout = { r : int; b : int; iw : int }
+(** Instruction layout: register-field width, immediate width, total
+    instruction width (opcode\[3\] src\[r\] dst\[r\] imm\[b\], LSB first). *)
+
+val layout : params -> layout
+
+val make : params -> Mc.Model.t
+(** [bug] removes the register bypass path (the classic hazard bug:
+    [LD r1, #1; ADD r0, r1] then misreads the stale r1). *)
+
+type handles = {
+  f : Fsm.Space.word;
+  b1 : Fsm.Space.word;
+  b2 : Fsm.Space.word;
+  e_we : Fsm.Space.bit;
+  e_isbr : Fsm.Space.bit;
+  e_dst : Fsm.Space.word;
+  e_val : Fsm.Space.word;
+  rf : Fsm.Space.word array;
+  rfs : Fsm.Space.word array;
+  instr_in : int array;
+}
+
+val make_full : params -> Mc.Model.t * handles
+(** [make] plus the variable handles, for reference simulators. *)

@@ -1,0 +1,64 @@
+(* The typed FIFO queue of Section IV.A: a [depth]-slot delay line of
+   [width]-bit items whose inputs obey a type constraint
+   (value <= bound, 0..128 inclusive in the paper), with the bit-slices
+   of the slots interleaved (the standard datapath ordering).  The
+   property: every slot always obeys the type constraint -- one small
+   conjunct per slot whose monolithic conjunction blows up exponentially
+   in the depth under the interleaved ordering.
+
+   [bug] widens the input constraint without widening the property,
+   planting a real violation for counterexample exercises. *)
+
+type params = { depth : int; width : int; bound : int; bug : bool }
+
+let default = { depth = 5; width = 8; bound = 128; bug = false }
+
+let name p =
+  Printf.sprintf "typed-fifo(depth=%d,width=%d%s)" p.depth p.width
+    (if p.bug then ",bug" else "")
+
+type handles = {
+  slots : Fsm.Space.word array; (* slot 0 is the input end *)
+  input : int array; (* input word levels *)
+}
+
+let make_full p =
+  assert (p.depth >= 1 && p.width >= 1);
+  let sp = Fsm.Space.create () in
+  (* Inputs first: composed images Z(f(s, input)) branch on the inputs,
+     so placing them at the top of the order keeps those intermediates
+     small; the state-only sets of the tables are unaffected. *)
+  let input = Fsm.Space.input_word ~name:"in" sp ~width:p.width in
+  let slots =
+    Fsm.Space.interleaved_words ~name:"slot" sp ~count:p.depth ~width:p.width
+  in
+  let man = Fsm.Space.man sp in
+  let in_vec = Fsm.Space.input_vec sp input in
+  (* Shift-register update: slot 0 takes the input, slot i the previous
+     slot's current value. *)
+  let assigns =
+    List.concat
+      (List.init p.depth (fun i ->
+           let source =
+             if i = 0 then in_vec else Fsm.Space.cur_vec sp slots.(i - 1)
+           in
+           List.init p.width (fun b -> (slots.(i).(b), source.(b)))))
+  in
+  let input_bound = if p.bug then (2 * p.bound) + 1 else p.bound in
+  let input_constraint =
+    Bvec.ule_const man in_vec (min input_bound ((1 lsl p.width) - 1))
+  in
+  let trans = Fsm.Trans.make ~input_constraint sp ~assigns in
+  let init =
+    Bdd.conj man
+      (Array.to_list slots
+      |> List.map (fun w -> Bvec.is_zero man (Fsm.Space.cur_vec sp w)))
+  in
+  let good =
+    Array.to_list slots
+    |> List.map (fun w -> Bvec.ule_const man (Fsm.Space.cur_vec sp w) p.bound)
+  in
+  (Mc.Model.make ~name:(name p) ~space:sp ~trans ~init ~good (),
+   { slots; input })
+
+let make p = fst (make_full p)

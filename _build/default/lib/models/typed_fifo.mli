@@ -1,0 +1,26 @@
+(** The typed FIFO queue example (Section IV.A): a [depth]-slot delay
+    line of [width]-bit items with the type constraint value <= [bound]
+    on inputs, bit-slices interleaved.  Property: every slot obeys the
+    type constraint (one conjunct per slot).  The monolithic conjunction
+    blows up exponentially in the depth; the implicit conjunction stays
+    at [depth] BDDs of [width]+1 nodes, matching the paper's
+    "(depth x 9 nodes)" annotations. *)
+
+type params = { depth : int; width : int; bound : int; bug : bool }
+
+val default : params
+(** depth 5, width 8, bound 128, no bug. *)
+
+val name : params -> string
+
+val make : params -> Mc.Model.t
+(** [bug] widens the input constraint without widening the property,
+    planting a violation two states from the initial state. *)
+
+type handles = {
+  slots : Fsm.Space.word array;  (** slot 0 is the input end *)
+  input : int array;  (** input word levels *)
+}
+
+val make_full : params -> Mc.Model.t * handles
+(** [make] plus the variable handles, for reference simulators. *)

@@ -1,0 +1,1 @@
+test/testmachines.ml: Array Format Fsm Fun List Mc QCheck2 String Testutil

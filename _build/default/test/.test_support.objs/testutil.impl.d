@@ -1,0 +1,1 @@
+test/testutil.ml: Array Bdd Format List QCheck2

@@ -1,0 +1,605 @@
+(* Test suite for the BDD package: unit tests for each operation plus
+   qcheck properties checked against brute-force truth tables. *)
+
+let nvars = 5
+
+let print_expr e = Format.asprintf "%a" Testutil.pp_expr e
+
+let qtest ?(count = 300) name prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name ~print:print_expr
+       (Testutil.gen_expr ~nvars) prop)
+
+let qtest2 ?(count = 200) name prop =
+  let gen = QCheck2.Gen.pair (Testutil.gen_expr ~nvars) (Testutil.gen_expr ~nvars) in
+  let print (a, b) = print_expr a ^ " // " ^ print_expr b in
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ~print gen prop)
+
+(* --- Unit tests ------------------------------------------------------ *)
+
+let test_constants () =
+  let man = Bdd.create () in
+  Alcotest.(check bool) "true is true" true (Bdd.is_true (Bdd.tru man));
+  Alcotest.(check bool) "false is false" true (Bdd.is_false (Bdd.fls man));
+  Alcotest.(check bool) "not true = false" true
+    (Bdd.equal (Bdd.bnot man (Bdd.tru man)) (Bdd.fls man));
+  Alcotest.(check int) "size of constants" 1 (Bdd.size (Bdd.tru man))
+
+let test_var_basic () =
+  let man, vars = Testutil.fresh_man 3 in
+  let x = Bdd.var man vars.(0) in
+  Alcotest.(check int) "size of a variable" 2 (Bdd.size x);
+  Alcotest.(check bool) "x and not x" true
+    (Bdd.is_false (Bdd.band man x (Bdd.bnot man x)));
+  Alcotest.(check bool) "x or not x" true
+    (Bdd.is_true (Bdd.bor man x (Bdd.bnot man x)));
+  Alcotest.(check bool) "double negation physical" true
+    (Bdd.equal x (Bdd.bnot man (Bdd.bnot man x)))
+
+let test_canonicity_hashcons () =
+  let man, vars = Testutil.fresh_man 4 in
+  let x = Bdd.var man vars.(0) and y = Bdd.var man vars.(1) in
+  let a = Bdd.band man x y in
+  let b = Bdd.bnot man (Bdd.bor man (Bdd.bnot man x) (Bdd.bnot man y)) in
+  Alcotest.(check bool) "De Morgan physically equal" true (Bdd.equal a b)
+
+let test_type_constraint_size () =
+  (* The 8-bit "value <= 128" type constraint of the FIFO example must
+     need 9 nodes (8 internal + terminal), matching the paper's
+     "(5 x 9 nodes)" annotation in Table 1. *)
+  let man = Bdd.create () in
+  let bits = Array.init 8 (fun i -> Bdd.new_var ~name:(Printf.sprintf "b%d" i) man) in
+  (* bits.(7) is the MSB (weight 128): v <= 128 iff b7 => all others 0. *)
+  let low_zero =
+    Bdd.conj man (List.init 7 (fun i -> Bdd.nvar man bits.(i)))
+  in
+  let constr = Bdd.bimp man (Bdd.var man bits.(7)) low_zero in
+  Alcotest.(check int) "nodes for v<=128" 9 (Bdd.size constr)
+
+let test_exists_unit () =
+  let man, vars = Testutil.fresh_man 3 in
+  let x = Bdd.var man vars.(0)
+  and y = Bdd.var man vars.(1)
+  and z = Bdd.var man vars.(2) in
+  let f = Bdd.band man x (Bdd.bor man y z) in
+  let vs = Bdd.varset man [ vars.(1) ] in
+  (* exists y. x /\ (y \/ z) = x *)
+  Alcotest.(check bool) "exists drops y" true
+    (Bdd.equal (Bdd.exists man vs f) x);
+  (* forall y. x /\ (y \/ z) = x /\ z *)
+  Alcotest.(check bool) "forall keeps z" true
+    (Bdd.equal (Bdd.forall man vs f) (Bdd.band man x z))
+
+let test_rename_unit () =
+  let man, vars = Testutil.fresh_man 6 in
+  let x = Bdd.var man vars.(1) and y = Bdd.var man vars.(3) in
+  let f = Bdd.band man x y in
+  let perm = Array.init 6 (fun i -> i) in
+  perm.(1) <- 0;
+  perm.(3) <- 2;
+  let g = Bdd.rename man perm f in
+  let expect = Bdd.band man (Bdd.var man vars.(0)) (Bdd.var man vars.(2)) in
+  Alcotest.(check bool) "renamed conjunction" true (Bdd.equal g expect)
+
+let test_rename_not_monotone () =
+  let man, vars = Testutil.fresh_man 4 in
+  let f = Bdd.band man (Bdd.var man vars.(0)) (Bdd.var man vars.(2)) in
+  let perm = Array.init 4 (fun i -> i) in
+  perm.(0) <- 3;
+  (* maps level 0 above level 2: order not preserved on the support *)
+  Alcotest.check_raises "non-monotone rename rejected" Bdd.Not_monotone
+    (fun () -> ignore (Bdd.rename man perm f))
+
+let test_restrict_unit () =
+  let man, vars = Testutil.fresh_man 2 in
+  let x = Bdd.var man vars.(0) and y = Bdd.var man vars.(1) in
+  let f = Bdd.band man x y in
+  (* With care set x, f simplifies to y. *)
+  Alcotest.(check bool) "restrict(x&y, x) = y" true
+    (Bdd.equal (Bdd.restrict man f x) y);
+  Alcotest.check_raises "empty care set rejected"
+    (Invalid_argument "Bdd.restrict: empty care set") (fun () ->
+      ignore (Bdd.restrict man f (Bdd.fls man)))
+
+let test_sat_count_unit () =
+  let man, vars = Testutil.fresh_man 3 in
+  let x = Bdd.var man vars.(0) and y = Bdd.var man vars.(1) in
+  let f = Bdd.bor man x y in
+  Alcotest.(check (float 1e-9)) "sat_count (x|y) over 3 vars" 6.0
+    (Bdd.sat_count ~nvars:3 f)
+
+let test_pick_minterm_unit () =
+  let man, vars = Testutil.fresh_man 3 in
+  let f =
+    Bdd.band man
+      (Bdd.bnot man (Bdd.var man vars.(0)))
+      (Bdd.var man vars.(2))
+  in
+  let env = Bdd.pick_minterm man ~vars:(Array.to_list vars) f in
+  Alcotest.(check bool) "picked minterm satisfies f" true (Bdd.eval man env f);
+  Alcotest.check_raises "pick on false" Not_found (fun () ->
+      ignore (Bdd.pick_minterm man ~vars:[ 0 ] (Bdd.fls man)))
+
+let test_stats () =
+  let man, vars = Testutil.fresh_man 4 in
+  let f = Bdd.conj man (List.init 4 (fun i -> Bdd.var man vars.(i))) in
+  ignore f;
+  Alcotest.(check bool) "created nodes counted" true (Bdd.created_nodes man >= 4);
+  Alcotest.(check bool) "live <= created" true
+    (Bdd.live_nodes man <= Bdd.created_nodes man);
+  Bdd.gc man;
+  Alcotest.(check bool) "peak recorded" true (Bdd.peak_live_nodes man >= 4)
+
+let test_dot_output () =
+  let man, vars = Testutil.fresh_man 2 in
+  let f = Bdd.bxor man (Bdd.var man vars.(0)) (Bdd.var man vars.(1)) in
+  let buf = Filename.temp_file "bdd" ".dot" in
+  Bdd.Dot.to_file man buf [ f ];
+  let ic = open_in buf in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove buf;
+  Alcotest.(check bool) "dot header" true
+    (String.length line >= 7 && String.sub line 0 7 = "digraph")
+
+let test_serialize_roundtrip () =
+  let man, vars = Testutil.fresh_man 4 in
+  let f =
+    Bdd.bor man
+      (Bdd.band man (Bdd.var man vars.(0)) (Bdd.var man vars.(2)))
+      (Bdd.bxor man (Bdd.var man vars.(1)) (Bdd.var man vars.(3)))
+  in
+  let g = Bdd.bnot man f in
+  let path = Filename.temp_file "bdd" ".txt" in
+  Bdd.Serialize.to_file man path [ f; g; Bdd.fls man ];
+  let man2 = Bdd.create () in
+  let _ = List.init 4 (fun _ -> Bdd.new_var man2) in
+  (match Bdd.Serialize.of_file man2 path with
+  | [ f2; g2; z2 ] ->
+    Alcotest.(check bool) "constant root" true (Bdd.is_false z2);
+    Alcotest.(check bool) "complement preserved" true
+      (Bdd.equal g2 (Bdd.bnot man2 f2));
+    List.iter
+      (fun env ->
+        let by_level = Testutil.env_by_level vars env in
+        Alcotest.(check bool) "semantics preserved"
+          (Bdd.eval man by_level f)
+          (Bdd.eval man2 by_level f2))
+      (Testutil.all_envs 4)
+  | _ -> Alcotest.fail "wrong number of roots");
+  (* Reading into the SAME manager must reproduce physically equal
+     BDDs (hash-consing through mk). *)
+  (match Bdd.Serialize.of_file man path with
+  | [ f2; g2; _ ] ->
+    Alcotest.(check bool) "same-manager identity f" true (Bdd.equal f f2);
+    Alcotest.(check bool) "same-manager identity g" true (Bdd.equal g g2)
+  | _ -> Alcotest.fail "wrong number of roots");
+  Sys.remove path
+
+let test_serialize_relocation () =
+  (* Reading with an order-preserving level map relocates the BDD. *)
+  let man, vars = Testutil.fresh_man 3 in
+  let f =
+    Bdd.band man (Bdd.var man vars.(0)) (Bdd.bnot man (Bdd.var man vars.(2)))
+  in
+  let path = Filename.temp_file "bdd" ".txt" in
+  Bdd.Serialize.to_file man path [ f ];
+  let man2 = Bdd.create () in
+  let _ = List.init 10 (fun _ -> Bdd.new_var man2) in
+  (match Bdd.Serialize.of_file ~map:(fun l -> (2 * l) + 1) man2 path with
+  | [ f2 ] ->
+    let expect =
+      Bdd.band man2 (Bdd.var man2 1) (Bdd.bnot man2 (Bdd.var man2 5))
+    in
+    Alcotest.(check bool) "relocated" true (Bdd.equal f2 expect)
+  | _ -> Alcotest.fail "one root expected");
+  Sys.remove path
+
+let test_serialize_rejects_garbage () =
+  let man = Bdd.create () in
+  let path = Filename.temp_file "bdd" ".txt" in
+  let oc = open_out path in
+  output_string oc "not a bdd file\n";
+  close_out oc;
+  Alcotest.(check bool) "parse error raised" true
+    (try
+       ignore (Bdd.Serialize.of_file man path);
+       false
+     with Bdd.Serialize.Parse_error _ -> true);
+  Sys.remove path
+
+let test_cubes_unit () =
+  let man, vars = Testutil.fresh_man 3 in
+  let x = Bdd.var man vars.(0) and z = Bdd.var man vars.(2) in
+  let f = Bdd.bor man x z in
+  (* Paths: x=1 | x=0,z=1. *)
+  Alcotest.(check int) "two cubes" 2 (Bdd.count_cubes f);
+  Alcotest.(check int) "no cube of false" 0 (Bdd.count_cubes (Bdd.fls man));
+  Alcotest.(check int) "one empty cube of true" 1
+    (Bdd.count_cubes (Bdd.tru man))
+
+let test_sift_recovers_grouped_order () =
+  (* From a fully interleaved order, sifting must recover a grouped
+     order for the two-word equality (adjacent swaps cannot: every
+     single swap is size-neutral or worse). *)
+  let man = Bdd.create () in
+  let bits = List.init 8 (fun _ -> Bdd.new_var man) in
+  let a = List.filteri (fun i _ -> i mod 2 = 0) bits in
+  let b = List.filteri (fun i _ -> i mod 2 = 1) bits in
+  (* equality of word a and word b with bits interleaved: 3w+2ish nodes;
+     grouped order costs exponential... other way round: interleaved is
+     GOOD for equality.  Use the FIFO-style conjunction instead: two
+     slot constraints with bit-slice interleaving. *)
+  ignore (a, b);
+  let slot offset =
+    (* v <= 8 over bits offset, offset+2, ... (MSB = last) *)
+    let bs = List.filteri (fun i _ -> i mod 2 = offset) bits in
+    match List.rev bs with
+    | msb :: rest ->
+      Bdd.bimp man (Bdd.var man msb)
+        (Bdd.conj man (List.map (Bdd.nvar man) rest))
+    | [] -> assert false
+  in
+  let g = Bdd.band man (slot 0) (slot 1) in
+  let before = Bdd.size g in
+  let perm = Bdd.Reorder.sift man [ g ] in
+  let dst = Bdd.create () in
+  let _ = List.init 8 (fun _ -> Bdd.new_var dst) in
+  match Bdd.Reorder.apply ~dst man [ g ] perm with
+  | [ g' ] ->
+    Alcotest.(check bool)
+      (Printf.sprintf "sift shrinks conjunction (%d -> %d)" before
+         (Bdd.size g'))
+      true
+      (Bdd.size g' < before)
+  | _ -> Alcotest.fail "one root expected"
+
+let test_weak_table_gc () =
+  (* The unique table is weak: after dropping references and forcing a
+     GC, dead nodes disappear, live roots stay canonical, and
+     re-building a collected function yields a BDD equal to a retained
+     twin.  This is the torture test for hash-consing across
+     collections. *)
+  let man, vars = Testutil.fresh_man 8 in
+  let build k =
+    (* a k-dependent function over all 8 variables *)
+    List.fold_left
+      (fun acc i ->
+        let v = Bdd.var man vars.(i) in
+        let v = if (k lsr i) land 1 = 1 then Bdd.bnot man v else v in
+        Bdd.bxor man acc (Bdd.band man v (Bdd.var man vars.((i + 1) mod 8))))
+      (Bdd.of_bool man (k land 1 = 1))
+      (List.init 8 Fun.id)
+  in
+  let keep = build 0xA5 in
+  let keep_size = Bdd.size keep in
+  (* Create a lot of garbage. *)
+  for k = 0 to 499 do
+    ignore (build k)
+  done;
+  let live_before = Bdd.live_nodes man in
+  Bdd.gc man;
+  let live_after = Bdd.live_nodes man in
+  Alcotest.(check bool)
+    (Printf.sprintf "gc reclaims garbage (%d -> %d)" live_before live_after)
+    true
+    (live_after < live_before);
+  Alcotest.(check int) "retained root intact" keep_size (Bdd.size keep);
+  (* Rebuilding after collection must hash-cons back onto the root. *)
+  Alcotest.(check bool) "rebuild is canonical" true
+    (Bdd.equal keep (build 0xA5));
+  (* And semantics survive. *)
+  Alcotest.(check bool) "semantics survive gc" true
+    (Bdd.is_true (Bdd.biff man keep (build 0xA5)))
+
+let test_reorder_interleaves () =
+  (* Equality of two 4-bit words declared far apart costs ~2^w nodes;
+     a good order interleaves them and costs ~3w.  The greedy search
+     must find a strictly (and substantially) better order. *)
+  let man = Bdd.create () in
+  let a = List.init 4 (fun _ -> Bdd.new_var man) in
+  let b = List.init 4 (fun _ -> Bdd.new_var man) in
+  let eq =
+    Bdd.conj man
+      (List.map2 (fun x y -> Bdd.biff man (Bdd.var man x) (Bdd.var man y)) a b)
+  in
+  let before = Bdd.size eq in
+  let perm = Bdd.Reorder.greedy_adjacent ~passes:4 man [ eq ] in
+  let dst = Bdd.create () in
+  let _ = List.init 8 (fun _ -> Bdd.new_var dst) in
+  (match Bdd.Reorder.apply ~dst man [ eq ] perm with
+  | [ eq' ] ->
+    Alcotest.(check bool)
+      (Printf.sprintf "reorder shrinks equality (%d -> %d)" before
+         (Bdd.size eq'))
+      true
+      (Bdd.size eq' < before)
+  | _ -> Alcotest.fail "one root expected")
+
+(* --- Properties ------------------------------------------------------ *)
+
+let with_expr e k =
+  let man, vars = Testutil.fresh_man nvars in
+  k man vars (Testutil.build_bdd man vars e)
+
+let prop_semantics e =
+  with_expr e (fun man vars f -> Testutil.semantically_equal man nvars f e vars)
+
+let prop_negation e =
+  with_expr e (fun man _ f -> Bdd.equal f (Bdd.bnot man (Bdd.bnot man f)))
+
+let prop_canonical (a, b) =
+  (* If two expressions agree on all assignments their BDDs must be
+     physically equal (and conversely). *)
+  let man, vars = Testutil.fresh_man nvars in
+  let fa = Testutil.build_bdd man vars a in
+  let fb = Testutil.build_bdd man vars b in
+  let same_sem =
+    List.for_all
+      (fun env -> Testutil.eval_expr env a = Testutil.eval_expr env b)
+      (Testutil.all_envs nvars)
+  in
+  Bdd.equal fa fb = same_sem
+
+let prop_exists (a, _) =
+  let man, vars = Testutil.fresh_man nvars in
+  let f = Testutil.build_bdd man vars a in
+  let lvl = vars.(1) in
+  let vs = Bdd.varset man [ lvl ] in
+  let quant = Bdd.exists man vs f in
+  let expect =
+    Bdd.bor man
+      (Bdd.cofactor man ~lvl ~value:true f)
+      (Bdd.cofactor man ~lvl ~value:false f)
+  in
+  Bdd.equal quant expect
+
+let prop_and_exists (a, b) =
+  let man, vars = Testutil.fresh_man nvars in
+  let f = Testutil.build_bdd man vars a in
+  let g = Testutil.build_bdd man vars b in
+  let vs = Bdd.varset man [ vars.(0); vars.(2) ] in
+  Bdd.equal (Bdd.and_exists man vs f g) (Bdd.exists man vs (Bdd.band man f g))
+
+let prop_restrict_care (a, b) =
+  (* restrict(f, c) agrees with f wherever c holds. *)
+  let man, vars = Testutil.fresh_man nvars in
+  let f = Testutil.build_bdd man vars a in
+  let c = Testutil.build_bdd man vars b in
+  Bdd.is_false c
+  || begin
+       let r = Bdd.restrict man f c in
+       List.for_all
+         (fun env ->
+           let env' = Testutil.env_by_level vars env in
+           (not (Bdd.eval man env' c))
+           || Bdd.eval man env' r = Bdd.eval man env' f)
+         (Testutil.all_envs nvars)
+     end
+
+let prop_constrain_algebra (a, b) =
+  (* constrain(f,c) /\ c = f /\ c -- the defining property. *)
+  let man, vars = Testutil.fresh_man nvars in
+  let f = Testutil.build_bdd man vars a in
+  let c = Testutil.build_bdd man vars b in
+  Bdd.is_false c
+  || Bdd.equal
+       (Bdd.band man (Bdd.constrain man f c) c)
+       (Bdd.band man f c)
+
+let prop_multi_restrict_care (a, b) =
+  (* multi_restrict agrees with f wherever every care conjunct holds;
+     exercised with the care set split into two conjuncts. *)
+  let man, vars = Testutil.fresh_man nvars in
+  let f = Testutil.build_bdd man vars a in
+  let c = Testutil.build_bdd man vars b in
+  let c1 = Bdd.bor man c (Bdd.var man vars.(0)) in
+  let c2 = Bdd.bor man c (Bdd.bnot man (Bdd.var man vars.(0))) in
+  (* c1 /\ c2 = c *)
+  Bdd.is_false c1 || Bdd.is_false c2
+  || begin
+       let r = Bdd.multi_restrict man f [ c1; c2 ] in
+       List.for_all
+         (fun env ->
+           let env' = Testutil.env_by_level vars env in
+           (not (Bdd.eval man env' c1 && Bdd.eval man env' c2))
+           || Bdd.eval man env' r = Bdd.eval man env' f)
+         (Testutil.all_envs nvars)
+     end
+
+let prop_multi_restrict_single (a, b) =
+  (* With a single care conjunct multi_restrict specialises to a sound
+     simplification under the same care set as Restrict. *)
+  let man, vars = Testutil.fresh_man nvars in
+  let f = Testutil.build_bdd man vars a in
+  let c = Testutil.build_bdd man vars b in
+  Bdd.is_false c
+  || begin
+       let r = Bdd.multi_restrict man f [ c ] in
+       List.for_all
+         (fun env ->
+           let env' = Testutil.env_by_level vars env in
+           (not (Bdd.eval man env' c)) || Bdd.eval man env' r = Bdd.eval man env' f)
+         (Testutil.all_envs nvars)
+     end
+
+let prop_theorem3 (a, b) =
+  (* Theorem 3 of the paper: a \/ b tautology iff restrict(a, ~b) is. *)
+  let man, vars = Testutil.fresh_man nvars in
+  let fa = Testutil.build_bdd man vars a in
+  let fb = Testutil.build_bdd man vars b in
+  Bdd.is_true fb
+  || Bdd.is_true (Bdd.bor man fa fb)
+     = Bdd.is_true (Bdd.restrict man fa (Bdd.bnot man fb))
+
+let prop_sat_count e =
+  with_expr e (fun _man vars f ->
+      let expect =
+        List.length
+          (List.filter (fun env -> Testutil.eval_expr env e)
+             (Testutil.all_envs nvars))
+      in
+      ignore vars;
+      abs_float (Bdd.sat_count ~nvars f -. float_of_int expect) < 1e-6)
+
+let prop_size_list_sharing (a, b) =
+  (* Shared size is bounded by the sum and at least the max. *)
+  let man, vars = Testutil.fresh_man nvars in
+  let f = Testutil.build_bdd man vars a in
+  let g = Testutil.build_bdd man vars b in
+  let s = Bdd.size_list [ f; g ] in
+  s <= Bdd.size f + Bdd.size g && s >= max (Bdd.size f) (Bdd.size g)
+
+let prop_support e =
+  with_expr e (fun man vars f ->
+      (* A variable is in the support iff the cofactors differ. *)
+      List.for_all
+        (fun lvl ->
+          let dependent =
+            not
+              (Bdd.equal
+                 (Bdd.cofactor man ~lvl ~value:true f)
+                 (Bdd.cofactor man ~lvl ~value:false f))
+          in
+          List.mem lvl (Bdd.support f) = dependent)
+        (Array.to_list vars))
+
+let prop_compose (a, b) =
+  (* compose x<-g f has the semantics of substitution. *)
+  let man, vars = Testutil.fresh_man nvars in
+  let f = Testutil.build_bdd man vars a in
+  let g = Testutil.build_bdd man vars b in
+  let lvl = vars.(2) in
+  let h = Bdd.compose man ~lvl ~by:g f in
+  List.for_all
+    (fun env ->
+      let env' = Testutil.env_by_level vars env in
+      let env2 = Array.copy env' in
+      env2.(lvl) <- Bdd.eval man env' g;
+      Bdd.eval man env' h = Bdd.eval man env2 f)
+    (Testutil.all_envs nvars)
+
+let prop_transfer_semantics e =
+  (* Transfer under a random-ish permutation preserves semantics. *)
+  let man, vars = Testutil.fresh_man nvars in
+  let f = Testutil.build_bdd man vars e in
+  (* reverse the variable order: a maximally non-monotone permutation *)
+  let perm = Array.init nvars (fun i -> nvars - 1 - i) in
+  let dst = Bdd.create () in
+  let _ = List.init nvars (fun _ -> Bdd.new_var dst) in
+  match Bdd.Reorder.transfer ~dst ~perm [ f ] with
+  | [ f' ] ->
+    List.for_all
+      (fun env ->
+        let direct = Testutil.eval_expr env e in
+        let permuted = Array.make nvars false in
+        Array.iteri (fun i lvl -> permuted.(perm.(lvl)) <- env.(i)) vars;
+        Bdd.eval dst permuted f' = direct)
+      (Testutil.all_envs nvars)
+  | _ -> false
+
+let prop_minterms e =
+  (* minterms enumerates exactly the satisfying assignments. *)
+  let man, vars = Testutil.fresh_man nvars in
+  let f = Testutil.build_bdd man vars e in
+  let got =
+    Bdd.minterms man ~vars:(Array.to_list vars) f
+    |> Seq.map Array.to_list |> List.of_seq
+    |> List.sort_uniq compare
+  in
+  let expect =
+    Testutil.all_envs nvars
+    |> List.filter (fun env -> Testutil.eval_expr env e)
+    |> List.map (fun env -> Array.to_list (Testutil.env_by_level vars env))
+    |> List.sort_uniq compare
+  in
+  got = expect
+
+let prop_serialize e =
+  let man, vars = Testutil.fresh_man nvars in
+  let f = Testutil.build_bdd man vars e in
+  let path = Filename.temp_file "bdd" ".txt" in
+  Bdd.Serialize.to_file man path [ f ];
+  let man2 = Bdd.create () in
+  let _ = List.init nvars (fun _ -> Bdd.new_var man2) in
+  let ok =
+    match Bdd.Serialize.of_file man2 path with
+    | [ f2 ] ->
+      List.for_all
+        (fun env ->
+          let by_level = Testutil.env_by_level vars env in
+          Bdd.eval man2 by_level f2 = Testutil.eval_expr env e)
+        (Testutil.all_envs nvars)
+    | _ -> false
+  in
+  Sys.remove path;
+  ok
+
+let prop_implies (a, b) =
+  let man, vars = Testutil.fresh_man nvars in
+  let f = Testutil.build_bdd man vars a in
+  let g = Testutil.build_bdd man vars b in
+  let expect =
+    List.for_all
+      (fun env ->
+        (not (Testutil.eval_expr env a)) || Testutil.eval_expr env b)
+      (Testutil.all_envs nvars)
+  in
+  Bdd.implies man f g = expect
+
+let () =
+  Alcotest.run "bdd"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "variables" `Quick test_var_basic;
+          Alcotest.test_case "hash-consing canonicity" `Quick
+            test_canonicity_hashcons;
+          Alcotest.test_case "fifo type constraint is 9 nodes" `Quick
+            test_type_constraint_size;
+          Alcotest.test_case "exists/forall" `Quick test_exists_unit;
+          Alcotest.test_case "rename" `Quick test_rename_unit;
+          Alcotest.test_case "rename rejects non-monotone" `Quick
+            test_rename_not_monotone;
+          Alcotest.test_case "restrict" `Quick test_restrict_unit;
+          Alcotest.test_case "sat_count" `Quick test_sat_count_unit;
+          Alcotest.test_case "pick_minterm" `Quick test_pick_minterm_unit;
+          Alcotest.test_case "stats counters" `Quick test_stats;
+          Alcotest.test_case "dot export" `Quick test_dot_output;
+          Alcotest.test_case "serialize roundtrip" `Quick
+            test_serialize_roundtrip;
+          Alcotest.test_case "serialize rejects garbage" `Quick
+            test_serialize_rejects_garbage;
+          Alcotest.test_case "serialize level relocation" `Quick
+            test_serialize_relocation;
+          Alcotest.test_case "cube counting" `Quick test_cubes_unit;
+          Alcotest.test_case "reorder finds interleaving" `Quick
+            test_reorder_interleaves;
+          Alcotest.test_case "weak unique table survives GC" `Quick
+            test_weak_table_gc;
+          Alcotest.test_case "sifting recovers grouped order" `Quick
+            test_sift_recovers_grouped_order;
+        ] );
+      ( "properties",
+        [
+          qtest "semantics vs truth table" prop_semantics;
+          qtest "double negation" prop_negation;
+          qtest2 "canonicity" prop_canonical;
+          qtest2 "exists = or of cofactors" prop_exists;
+          qtest2 "and_exists = exists of and" prop_and_exists;
+          qtest2 "restrict agrees on care set" prop_restrict_care;
+          qtest2 "constrain defining identity" prop_constrain_algebra;
+          qtest2 "theorem 3 (restrict tautology)" prop_theorem3;
+          qtest2 "multi_restrict care agreement" prop_multi_restrict_care;
+          qtest2 "multi_restrict single conjunct" prop_multi_restrict_single;
+          qtest "sat_count" prop_sat_count;
+          qtest2 "size_list sharing bounds" prop_size_list_sharing;
+          qtest "support = dependent vars" prop_support;
+          qtest2 "compose substitution" prop_compose;
+          qtest2 "implies decision" prop_implies;
+          qtest "minterm enumeration" prop_minterms;
+          qtest ~count:150 "transfer preserves semantics" prop_transfer_semantics;
+          qtest ~count:150 "serialization semantics" prop_serialize;
+        ] );
+    ]

@@ -1,0 +1,161 @@
+(* Bit-vector layer tests: exhaustive comparison against machine-integer
+   arithmetic for small widths, plus unit tests for the structural
+   helpers. *)
+
+let width = 4
+
+(* Two vectors of fresh variables and an exhaustive environment sweep. *)
+let setup () =
+  let man = Bdd.create () in
+  let a_levels = List.init width (fun _ -> Bdd.new_var man) in
+  let b_levels = List.init width (fun _ -> Bdd.new_var man) in
+  let a = Bvec.of_vars man a_levels in
+  let b = Bvec.of_vars man b_levels in
+  (man, a, b)
+
+let each_env f =
+  for va = 0 to (1 lsl width) - 1 do
+    for vb = 0 to (1 lsl width) - 1 do
+      let env =
+        Array.init (2 * width) (fun l ->
+            if l < width then (va lsr l) land 1 = 1
+            else (vb lsr (l - width)) land 1 = 1)
+      in
+      f env va vb
+    done
+  done
+
+let test_add () =
+  let man, a, b = setup () in
+  let sum = Bvec.add man a b in
+  each_env (fun env va vb ->
+      Alcotest.(check int) "modular sum"
+        ((va + vb) land ((1 lsl width) - 1))
+        (Bvec.eval man env sum))
+
+let test_add_ext () =
+  let man, a, b = setup () in
+  let sum = Bvec.add_ext man a b in
+  Alcotest.(check int) "extended width" (width + 1) (Bvec.width sum);
+  each_env (fun env va vb ->
+      Alcotest.(check int) "full sum" (va + vb) (Bvec.eval man env sum))
+
+let test_sub () =
+  let man, a, b = setup () in
+  let diff = Bvec.sub man a b in
+  each_env (fun env va vb ->
+      Alcotest.(check int) "two's complement difference"
+        ((va - vb) land ((1 lsl width) - 1))
+        (Bvec.eval man env diff))
+
+let test_compare () =
+  let man, a, b = setup () in
+  let lt = Bvec.ult man a b in
+  let le = Bvec.ule man a b in
+  let eq = Bvec.eq man a b in
+  each_env (fun env va vb ->
+      Alcotest.(check bool) "ult" (va < vb) (Bdd.eval man env lt);
+      Alcotest.(check bool) "ule" (va <= vb) (Bdd.eval man env le);
+      Alcotest.(check bool) "eq" (va = vb) (Bdd.eval man env eq))
+
+let test_eq_bits () =
+  let man, a, b = setup () in
+  let conjuncts = Bvec.eq_bits man a b in
+  Alcotest.(check int) "one conjunct per bit" width (List.length conjuncts);
+  Alcotest.(check bool) "conjunction = eq" true
+    (Bdd.equal (Bdd.conj man conjuncts) (Bvec.eq man a b))
+
+let test_ule_const () =
+  let man, a, _ = setup () in
+  let le9 = Bvec.ule_const man a 9 in
+  each_env (fun env va _ ->
+      Alcotest.(check bool) "ule_const" (va <= 9) (Bdd.eval man env le9))
+
+let test_mux () =
+  let man, a, b = setup () in
+  let c = Bdd.var man (Bdd.new_var man) in
+  let m = Bvec.mux man c a b in
+  each_env (fun env va vb ->
+      let env_t = Array.append env [| true |] in
+      let env_f = Array.append env [| false |] in
+      Alcotest.(check int) "mux true" va (Bvec.eval man env_t m);
+      Alcotest.(check int) "mux false" vb (Bvec.eval man env_f m))
+
+let test_shift () =
+  let man, a, _ = setup () in
+  let shr = Bvec.shift_right_const man ~by:2 a in
+  Alcotest.(check int) "width after discard" (width - 2) (Bvec.width shr);
+  each_env (fun env va _ ->
+      Alcotest.(check int) "discard low bits" (va lsr 2)
+        (Bvec.eval man env shr))
+
+let test_shift_left_in () =
+  let man, a, _ = setup () in
+  let low = Bdd.tru man in
+  let s = Bvec.shift_left_in man ~low a in
+  each_env (fun env va _ ->
+      Alcotest.(check int) "shift register step"
+        (((va lsl 1) lor 1) land ((1 lsl width) - 1))
+        (Bvec.eval man env s))
+
+let test_const_roundtrip () =
+  let man = Bdd.create () in
+  for n = 0 to 15 do
+    let v = Bvec.const man ~width n in
+    Alcotest.(check int) "const eval" n (Bvec.eval man [||] v)
+  done
+
+let test_zero_extend_is_zero () =
+  let man, a, _ = setup () in
+  let ext = Bvec.zero_extend man ~width:(width + 3) a in
+  Alcotest.(check int) "extended width" (width + 3) (Bvec.width ext);
+  let z = Bvec.is_zero man ext in
+  each_env (fun env va _ ->
+      Alcotest.(check int) "value preserved" va (Bvec.eval man env ext);
+      Alcotest.(check bool) "is_zero" (va = 0) (Bdd.eval man env z))
+
+(* Randomised cross-width property: arithmetic over random widths and
+   values matches machine integers (the exhaustive tests above cover
+   width 4 only). *)
+let prop_random_arith (w, x, y) =
+  let width = 1 + (abs w mod 10) in
+  let mask = (1 lsl width) - 1 in
+  let x = abs x land mask and y = abs y land mask in
+  let man = Bdd.create () in
+  let a = Bvec.const man ~width x in
+  let b = Bvec.const man ~width y in
+  Bvec.eval man [||] (Bvec.add man a b) = (x + y) land mask
+  && Bvec.eval man [||] (Bvec.sub man a b) = (x - y) land mask
+  && Bdd.is_true (Bvec.ule man a b) = (x <= y)
+  && Bdd.is_true (Bvec.eq man a b) = (x = y)
+  && Bvec.eval man [||] (Bvec.zero_extend man ~width:(width + 3) a) = x
+
+let qcheck_arith =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:500 ~name:"random width arithmetic"
+       QCheck2.Gen.(triple small_int small_int small_int)
+       prop_random_arith)
+
+let () =
+  Alcotest.run "bvec"
+    [
+      ( "arith",
+        [
+          Alcotest.test_case "add" `Quick test_add;
+          Alcotest.test_case "add_ext" `Quick test_add_ext;
+          Alcotest.test_case "sub" `Quick test_sub;
+          Alcotest.test_case "comparisons" `Quick test_compare;
+          Alcotest.test_case "eq_bits" `Quick test_eq_bits;
+          Alcotest.test_case "ule_const" `Quick test_ule_const;
+        ] );
+      ("random", [ qcheck_arith ]);
+      ( "structure",
+        [
+          Alcotest.test_case "mux" `Quick test_mux;
+          Alcotest.test_case "shift_right_const" `Quick test_shift;
+          Alcotest.test_case "shift_left_in" `Quick test_shift_left_in;
+          Alcotest.test_case "const roundtrip" `Quick test_const_roundtrip;
+          Alcotest.test_case "zero_extend / is_zero" `Quick
+            test_zero_extend_is_zero;
+        ] );
+    ]

@@ -1,0 +1,197 @@
+(* Tests for the HDL description layer: a design built through the
+   combinators must verify identically to the hand-built equivalent,
+   and every elaboration check must fire on bad designs. *)
+
+let limits man =
+  Mc.Limits.start ~max_iterations:100 ~max_created_nodes:2_000_000 man
+
+let counter_design good_limit =
+  let module D = (val Hdl.design "hdl-counter") in
+  let c = D.reg "c" ~width:2 () in
+  let tick = D.input "tick" ~width:1 in
+  D.(c <== ite tick (c +: const ~width:2 1) c);
+  D.model ~good:[ D.(c <=: D.const ~width:2 good_limit) ] ()
+
+let test_counter_proved () =
+  let model = counter_design 3 in
+  List.iter
+    (fun meth ->
+      let r = Mc.Runner.run ~limits meth model in
+      Alcotest.(check bool)
+        (Mc.Runner.name meth ^ " proves HDL counter")
+        true (Mc.Report.is_proved r))
+    Mc.Runner.all
+
+let test_counter_violated () =
+  let model = counter_design 2 in
+  let r = Mc.Xici.run ~limits model in
+  match r.Mc.Report.status with
+  | Mc.Report.Violated tr ->
+    Alcotest.(check int) "shortest trace" 4 (List.length tr);
+    Alcotest.(check bool) "validated" true
+      (Mc.Trace.validate model.Mc.Model.trans ~init:model.Mc.Model.init
+         ~good:
+           (Ici.Clist.of_list (Mc.Model.man model) (Mc.Model.property model))
+         tr)
+  | Mc.Report.Proved | Mc.Report.Exceeded _ -> Alcotest.fail "should violate"
+
+(* The typed FIFO re-expressed in the HDL (grouped, not interleaved,
+   allocation -- the point here is semantics, not node counts). *)
+let fifo_design ~depth ~width ~bound ~bug =
+  let module D = (val Hdl.design "hdl-fifo") in
+  let inp = D.input "in" ~width in
+  D.constrain D.(inp <=: const ~width (min bound ((1 lsl width) - 1)));
+  let slots =
+    List.init depth (fun i -> D.reg (Printf.sprintf "s%d" i) ~width ())
+  in
+  List.iteri
+    (fun i s ->
+      D.(s <== (if i = 0 then inp else List.nth slots (i - 1))))
+    slots;
+  let bound = if bug then bound / 2 else bound in
+  D.model ~good:(List.map (fun s -> D.(s <=: const ~width bound)) slots) ()
+
+let test_fifo_agrees () =
+  let model = fifo_design ~depth:3 ~width:4 ~bound:9 ~bug:false in
+  List.iter
+    (fun meth ->
+      let r = Mc.Runner.run ~limits meth model in
+      Alcotest.(check bool)
+        (Mc.Runner.name meth ^ " proves HDL fifo")
+        true (Mc.Report.is_proved r))
+    [ Mc.Runner.Forward; Mc.Runner.Ici; Mc.Runner.Xici; Mc.Runner.Explicit ];
+  let buggy = fifo_design ~depth:3 ~width:4 ~bound:9 ~bug:true in
+  let r = Mc.Xici.run ~limits buggy in
+  Alcotest.(check bool) "bug found" false (Mc.Report.is_proved r)
+
+let test_fd_candidates () =
+  (* A register that mirrors another is functionally dependent. *)
+  let module D = (val Hdl.design "hdl-mirror") in
+  let x = D.reg "x" ~width:2 () in
+  let shadow = D.reg "shadow" ~width:2 () in
+  let inc = D.input "inc" ~width:1 in
+  let next = D.(ite inc (x +: const ~width:2 1) x) in
+  D.(x <== next);
+  D.(shadow <== next);
+  let model =
+    D.model ~fd_candidates:[ shadow ] ~good:[ D.(x ==: shadow) ] ()
+  in
+  let r = Mc.Fd.run ~limits model in
+  Alcotest.(check bool) "FD proves" true (Mc.Report.is_proved r)
+
+let expect_error name f =
+  Alcotest.(check bool) name true
+    (try
+       ignore (f ());
+       false
+     with Hdl.Elaboration_error _ -> true)
+
+let test_elaboration_errors () =
+  expect_error "missing assignment" (fun () ->
+      let module D = (val Hdl.design "bad") in
+      let _c = D.reg "c" ~width:2 () in
+      D.model ~good:[ D.tt ] ());
+  expect_error "double assignment" (fun () ->
+      let module D = (val Hdl.design "bad") in
+      let c = D.reg "c" ~width:2 () in
+      D.(c <== c);
+      D.(c <== c));
+  expect_error "width mismatch in assignment" (fun () ->
+      let module D = (val Hdl.design "bad") in
+      let c = D.reg "c" ~width:2 () in
+      D.(c <== const ~width:3 0));
+  expect_error "width mismatch in operator" (fun () ->
+      let module D = (val Hdl.design "bad") in
+      D.(const ~width:2 1 +: const ~width:3 1));
+  expect_error "assigning a non-register" (fun () ->
+      let module D = (val Hdl.design "bad") in
+      let c = D.reg "c" ~width:2 () in
+      D.(c +: c <== c));
+  expect_error "oversized initial value" (fun () ->
+      let module D = (val Hdl.design "bad") in
+      D.reg "c" ~width:2 ~init:4 ());
+  expect_error "duplicate register name" (fun () ->
+      let module D = (val Hdl.design "bad") in
+      let _ = D.reg "c" ~width:1 () in
+      D.reg "c" ~width:1 ());
+  expect_error "multi-bit value where boolean expected" (fun () ->
+      let module D = (val Hdl.design "bad") in
+      let c = D.reg "c" ~width:2 () in
+      D.(c <== c);
+      D.model ~good:[ c ] ());
+  expect_error "unsatisfiable input constraint" (fun () ->
+      let module D = (val Hdl.design "bad") in
+      let c = D.reg "c" ~width:1 () in
+      D.(c <== c);
+      D.constrain D.ff;
+      D.model ~good:[ D.tt ] ());
+  expect_error "use after elaboration" (fun () ->
+      let module D = (val Hdl.design "bad") in
+      let c = D.reg "c" ~width:1 () in
+      D.(c <== c);
+      let _ = D.model ~good:[ D.tt ] () in
+      D.reg "d" ~width:1 ())
+
+let test_combinators_semantics () =
+  (* Spot-check the combinators against integers on all inputs. *)
+  let module D = (val Hdl.design "comb") in
+  let a = D.input "a" ~width:3 in
+  let b = D.input "b" ~width:3 in
+  let c = D.reg "c" ~width:1 () in
+  D.(c <== c);
+  let exprs =
+    [
+      ("add", D.(a +: b), fun x y -> (x + y) land 7);
+      ("sub", D.(a -: b), fun x y -> (x - y) land 7);
+      ("and", D.(a &&: b), fun x y -> x land y);
+      ("or", D.(a ||: b), fun x y -> x lor y);
+      ("xor", D.(a ^: b), fun x y -> x lxor y);
+      ("not", D.(!:a), fun x _ -> lnot x land 7);
+      ("eq", D.(a ==: b), fun x y -> Bool.to_int (x = y));
+      ("lt", D.(a <: b), fun x y -> Bool.to_int (x < y));
+      ("le", D.(a <=: b), fun x y -> Bool.to_int (x <= y));
+      ("ite", D.(ite (a <: b) a b), min);
+      ("shr", D.(zero_extend ~width:3 (shift_right ~by:1 a)),
+       fun x _ -> x lsr 1);
+    ]
+  in
+  let man = D.man in
+  for x = 0 to 7 do
+    for y = 0 to 7 do
+      let env = Array.make (Bdd.num_vars man) false in
+      (* Inputs were declared first: levels 0-2 for a, 3-5 for b. *)
+      for i = 0 to 2 do
+        env.(i) <- (x lsr i) land 1 = 1;
+        env.(3 + i) <- (y lsr i) land 1 = 1
+      done;
+      List.iter
+        (fun (nm, e, f) ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s %d %d" nm x y)
+            (f x y)
+            (Bvec.eval man env (D.to_vec e)))
+        exprs
+    done
+  done
+
+let () =
+  Alcotest.run "hdl"
+    [
+      ( "designs",
+        [
+          Alcotest.test_case "counter proves (all methods)" `Quick
+            test_counter_proved;
+          Alcotest.test_case "counter violation + trace" `Quick
+            test_counter_violated;
+          Alcotest.test_case "fifo agrees with hand-built" `Quick
+            test_fifo_agrees;
+          Alcotest.test_case "fd candidates" `Quick test_fd_candidates;
+        ] );
+      ( "elaboration",
+        [
+          Alcotest.test_case "all error checks fire" `Quick
+            test_elaboration_errors;
+          Alcotest.test_case "combinator semantics" `Quick
+            test_combinators_semantics;
+        ] );
+    ]

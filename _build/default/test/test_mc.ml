@@ -1,0 +1,260 @@
+(* Model-checker tests.
+
+   The load-bearing checks are the agreement properties: on random small
+   machines every method's verdict must equal the explicit-state
+   reference, and every Violated verdict must come with a validated
+   counterexample trace. *)
+
+let limits man =
+  Mc.Limits.start ~max_iterations:100 ~max_created_nodes:2_000_000 man
+
+let qtest ?(count = 120) name prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name ~print:Testmachines.print_spec
+       Testmachines.gen_spec prop)
+
+let verdict_matches spec (report : Mc.Report.t) =
+  let model_ok = Testmachines.reference_verdict spec in
+  match report.status with
+  | Mc.Report.Proved -> model_ok
+  | Mc.Report.Violated _ -> not model_ok
+  | Mc.Report.Exceeded _ -> false
+
+let trace_valid model (report : Mc.Report.t) =
+  match report.status with
+  | Mc.Report.Violated tr ->
+    let man = Mc.Model.man model in
+    Mc.Trace.validate model.Mc.Model.trans ~init:model.Mc.Model.init
+      ~good:(Ici.Clist.of_list man (Mc.Model.property model))
+      tr
+  | Mc.Report.Proved | Mc.Report.Exceeded _ -> true
+
+let check_method ?(allow_nonconvergence = false) meth spec =
+  let model = Testmachines.build_model spec in
+  let report = Mc.Runner.run ~limits meth model in
+  (match report.status with
+  | Mc.Report.Exceeded _ when allow_nonconvergence -> true
+  | _ -> verdict_matches spec report)
+  && trace_valid model report
+
+let prop_forward spec = check_method Mc.Runner.Forward spec
+let prop_backward spec = check_method Mc.Runner.Backward spec
+let prop_fd spec = check_method Mc.Runner.Fd spec
+
+let prop_ici spec =
+  (* The original ICI termination test is not guaranteed to detect
+     convergence; nonconvergence (reported as Exceeded) is acceptable,
+     a wrong verdict is not. *)
+  check_method ~allow_nonconvergence:true Mc.Runner.Ici spec
+
+let prop_xici spec = check_method Mc.Runner.Xici spec
+
+let prop_idi spec = check_method Mc.Runner.Idi spec
+
+let prop_explicit spec = check_method Mc.Runner.Explicit spec
+
+let prop_explicit_state_count spec =
+  (* The hash-table search must visit exactly the reference's reachable
+     state count. *)
+  let model = Testmachines.build_model spec in
+  let _, states = Mc.Explicit.run_full ~limits model in
+  let expected = Testmachines.reference_reachable_count spec in
+  (not (Testmachines.reference_verdict spec)) || states = expected
+
+let prop_xici_variants spec =
+  let model = Testmachines.build_model spec in
+  let expected = Testmachines.reference_verdict spec in
+  List.for_all
+    (fun termination ->
+      let report = Mc.Xici.run ~limits ~termination model in
+      match report.status with
+      | Mc.Report.Proved -> expected
+      | Mc.Report.Violated _ -> not expected
+      | Mc.Report.Exceeded _ -> termination = `Pointwise)
+    [ `Exact_equal; `Exact_implication; `Pointwise ]
+
+let prop_xici_configs spec =
+  let expected = Testmachines.reference_verdict spec in
+  List.for_all
+    (fun cfg ->
+      let model = Testmachines.build_model spec in
+      let report = Mc.Xici.run ~limits ~cfg model in
+      match report.status with
+      | Mc.Report.Proved -> expected
+      | Mc.Report.Violated _ -> not expected
+      | Mc.Report.Exceeded _ -> false)
+    [
+      Ici.Policy.default;
+      { Ici.Policy.default with simplifier = Ici.Policy.Constrain };
+      { Ici.Policy.default with evaluation = Ici.Policy.Optimal_cover };
+      { Ici.Policy.default with evaluation = Ici.Policy.No_evaluation };
+      { Ici.Policy.default with grow_threshold = 1.0 };
+      { Ici.Policy.default with simplifier = Ici.Policy.Multi_restrict };
+      { Ici.Policy.default with pair_step_factor = None };
+    ]
+
+(* --- unit tests on a 2-bit counter ------------------------------------- *)
+
+(* Counter increments when the input ticks; init = 0. *)
+let counter_model ~good_limit =
+  let sp = Fsm.Space.create () in
+  let w = Fsm.Space.state_word ~name:"c" sp ~width:2 in
+  let tick = Fsm.Space.input_bit ~name:"tick" sp in
+  let man = Fsm.Space.man sp in
+  let c = Fsm.Space.cur_vec sp w in
+  let t = Bdd.var man tick in
+  let inc = Bvec.add man c (Bvec.const man ~width:2 1) in
+  let nextv = Bvec.mux man t inc c in
+  let assigns = [ (w.(0), nextv.(0)); (w.(1), nextv.(1)) ] in
+  let trans = Fsm.Trans.make sp ~assigns in
+  let init = Bvec.eq man c (Bvec.const man ~width:2 0) in
+  let good = [ Bvec.ule_const man c good_limit ] in
+  Mc.Model.make ~name:"counter" ~space:sp ~trans ~init ~good ()
+
+let test_counter_proved () =
+  let model = counter_model ~good_limit:3 in
+  List.iter
+    (fun meth ->
+      let r = Mc.Runner.run ~limits meth model in
+      Alcotest.(check bool)
+        (Mc.Runner.name meth ^ " proves c<=3")
+        true (Mc.Report.is_proved r))
+    Mc.Runner.all
+
+let test_counter_violated () =
+  let model = counter_model ~good_limit:2 in
+  List.iter
+    (fun meth ->
+      let r = Mc.Runner.run ~limits meth model in
+      match r.Mc.Report.status with
+      | Mc.Report.Violated tr ->
+        let man = Mc.Model.man model in
+        Alcotest.(check bool)
+          (Mc.Runner.name meth ^ " trace validates")
+          true
+          (Mc.Trace.validate model.Mc.Model.trans ~init:model.Mc.Model.init
+             ~good:(Ici.Clist.of_list man (Mc.Model.property model))
+             tr);
+        (* Shortest violation: 0 -> 1 -> 2 -> 3, four states. *)
+        Alcotest.(check int)
+          (Mc.Runner.name meth ^ " trace length")
+          4 (List.length tr)
+      | Mc.Report.Proved | Mc.Report.Exceeded _ ->
+        Alcotest.fail (Mc.Runner.name meth ^ " should find the violation"))
+    Mc.Runner.all
+
+let test_counter_iterations () =
+  (* Forward reaches the fixpoint in 3 image steps (counter saturates
+     its 4 values after 3 increments). *)
+  let model = counter_model ~good_limit:3 in
+  let r = Mc.Forward.run ~limits model in
+  Alcotest.(check int) "forward iterations" 3 r.Mc.Report.iterations;
+  (* Backward: G_0 = true (property covers all states) is inductive. *)
+  let r = Mc.Backward.run ~limits model in
+  Alcotest.(check bool) "backward converges fast" true
+    (r.Mc.Report.iterations <= 1)
+
+let test_limits_node_budget () =
+  let model = counter_model ~good_limit:3 in
+  let tight man = Mc.Limits.start ~max_created_nodes:1 man in
+  let r = Mc.Forward.run ~limits:tight model in
+  match r.Mc.Report.status with
+  | Mc.Report.Exceeded _ -> ()
+  | Mc.Report.Proved | Mc.Report.Violated _ ->
+    Alcotest.fail "node budget should trip"
+
+let test_report_strings () =
+  let model = counter_model ~good_limit:3 in
+  let r = Mc.Forward.run ~limits model in
+  Alcotest.(check string) "status string" "proved" (Mc.Report.status_string r);
+  Alcotest.(check string) "uniform conjunct annotation" " (3 x 9 nodes)"
+    (Mc.Report.conjuncts_string [ 9; 9; 9 ]);
+  Alcotest.(check string) "mixed conjunct annotation" " (102, 45)"
+    (Mc.Report.conjuncts_string [ 102; 45 ]);
+  Alcotest.(check string) "singleton not annotated" ""
+    (Mc.Report.conjuncts_string [ 42 ])
+
+let test_induction () =
+  (* The counter's property c <= 3 is trivially inductive (it is TRUE
+     over 2 bits); c <= 2 is implied initially but not preserved; and
+     c >= 1 is not even implied by init. *)
+  let model = counter_model ~good_limit:2 in
+  let man = Mc.Model.man model in
+  let full = Mc.Model.property (counter_model ~good_limit:3) in
+  (match Mc.Induction.check model full with
+  | Mc.Induction.Inductive -> ()
+  | Mc.Induction.Not_implied_by_init _ | Mc.Induction.Not_preserved _ ->
+    Alcotest.fail "c<=3 should be inductive");
+  (match Mc.Induction.check model (Mc.Model.property model) with
+  | Mc.Induction.Not_preserved [ f ] ->
+    (* The CTI must satisfy the invariant and step outside it. *)
+    Alcotest.(check bool) "cti state inside" true
+      (Bdd.eval man f.Mc.Induction.state f.Mc.Induction.conjunct);
+    Alcotest.(check bool) "cti successor outside" false
+      (Bdd.eval man f.Mc.Induction.successor f.Mc.Induction.conjunct)
+  | Mc.Induction.Inductive | Mc.Induction.Not_implied_by_init _
+  | Mc.Induction.Not_preserved _ ->
+    Alcotest.fail "c<=2 should fail induction with one CTI");
+  let c_ge_1 =
+    Bdd.bnot man
+      (Bdd.band man
+         (Bdd.bnot man (Bdd.var man 0))
+         (Bdd.bnot man (Bdd.var man 2)))
+  in
+  (match Mc.Induction.check model [ c_ge_1 ] with
+  | Mc.Induction.Not_implied_by_init [ _ ] -> ()
+  | Mc.Induction.Inductive | Mc.Induction.Not_implied_by_init _
+  | Mc.Induction.Not_preserved _ ->
+    Alcotest.fail "c>=1 should fail the init check");
+  (* Derived XICI invariants establish the property (by construction). *)
+  let proved = counter_model ~good_limit:3 in
+  (match Mc.Xici.run_full ~limits proved with
+  | _, Some derived ->
+    Alcotest.(check bool) "derived list establishes property" true
+      (Mc.Induction.establishes proved derived)
+  | _, None -> Alcotest.fail "expected a derived fixpoint")
+
+let test_validate_rejects_bogus () =
+  let model = counter_model ~good_limit:2 in
+  let man = Mc.Model.man model in
+  let good = Ici.Clist.of_list man (Mc.Model.property model) in
+  let nv = Bdd.num_vars man in
+  (* A "trace" that starts outside init. *)
+  let bogus = [ Array.make nv true ] in
+  Alcotest.(check bool) "bogus trace rejected" false
+    (Mc.Trace.validate model.Mc.Model.trans ~init:model.Mc.Model.init ~good
+       bogus);
+  Alcotest.(check bool) "empty trace rejected" false
+    (Mc.Trace.validate model.Mc.Model.trans ~init:model.Mc.Model.init ~good [])
+
+let () =
+  Alcotest.run "mc"
+    [
+      ( "counter",
+        [
+          Alcotest.test_case "all methods prove" `Quick test_counter_proved;
+          Alcotest.test_case "all methods find violation + valid traces"
+            `Quick test_counter_violated;
+          Alcotest.test_case "iteration counts" `Quick
+            test_counter_iterations;
+          Alcotest.test_case "node budget" `Quick test_limits_node_budget;
+          Alcotest.test_case "report formatting" `Quick test_report_strings;
+          Alcotest.test_case "trace validation rejects bogus" `Quick
+            test_validate_rejects_bogus;
+          Alcotest.test_case "inductiveness checker" `Quick test_induction;
+        ] );
+      ( "agreement with explicit-state reference",
+        [
+          qtest "forward" prop_forward;
+          qtest "backward" prop_backward;
+          qtest "functional dependencies" prop_fd;
+          qtest "original ICI" prop_ici;
+          qtest "XICI" prop_xici;
+          qtest "implicitly disjoined forward (IDI)" prop_idi;
+          qtest "explicit-state (hash table)" prop_explicit;
+          qtest ~count:80 "explicit-state reachable count"
+            prop_explicit_state_count;
+          qtest ~count:60 "XICI termination variants" prop_xici_variants;
+          qtest ~count:60 "XICI policy configurations" prop_xici_configs;
+        ] );
+    ]
