@@ -454,6 +454,80 @@ let ablation_reorder _budgets =
         (Unix.gettimeofday () -. t0))
     [ 4; 5 ]
 
+(* Checkpoint overhead: the same XICI run cold vs. snapshotting every
+   iteration, plus a resilient-driver run whose first attempt is killed
+   by a tight node budget -- quantifying what the resilience layer
+   costs when nothing goes wrong and what it saves when something
+   does. *)
+let bench_checkpoint budgets =
+  head "=== Resilience: checkpoint overhead and escalation cost ===";
+  let cases =
+    [
+      ( "fifo-10",
+        fun () ->
+          Models.Typed_fifo.make { Models.Typed_fifo.default with depth = 10 }
+      );
+      ("filter-8", fun () -> filter_model 8 false);
+      ("cpu-2R1B", fun () -> cpu_model 2 1);
+    ]
+  in
+  table_header ();
+  List.iter
+    (fun (name, model) ->
+      let cold =
+        run_row ~label:name budgets Mc.Runner.Xici (model ())
+          ~paper:"no checkpointing"
+      in
+      let path = Filename.temp_file "icv-bench" ".ckpt" in
+      let ckpt =
+        let r =
+          Mc.Xici.run ~limits:(limits_of budgets) ~checkpoint_path:path
+            ~checkpoint_every:1 (model ())
+        in
+        Format.printf "  %-10s %a   [checkpoint every iteration]@.%!" name
+          Mc.Report.pp_row r;
+        r
+      in
+      let size =
+        if Sys.file_exists path then (Unix.stat path).Unix.st_size else 0
+      in
+      Format.printf
+        "  %-10s checkpoint overhead: %+.2fs (%.1f%%), last snapshot %d \
+         bytes@.%!"
+        name
+        (ckpt.Mc.Report.time_s -. cold.Mc.Report.time_s)
+        (if cold.Mc.Report.time_s > 0.0 then
+           100.0
+           *. (ckpt.Mc.Report.time_s -. cold.Mc.Report.time_s)
+           /. cold.Mc.Report.time_s
+         else 0.0)
+        size;
+      if Sys.file_exists path then Sys.remove path)
+    cases;
+  (* Escalation: initial budget at ~1/4 of what the cold run needed, so
+     the first resilient attempt dies and the driver must recover. *)
+  head "-- escalating-budget recovery (first attempt under-budgeted) --";
+  List.iter
+    (fun (name, model) ->
+      let cold_model = model () in
+      let baseline = Bdd.created_nodes (Mc.Model.man cold_model) in
+      ignore (Mc.Xici.run ~limits:(limits_of budgets) cold_model);
+      let needed = Bdd.created_nodes (Mc.Model.man cold_model) - baseline in
+      let path = Filename.temp_file "icv-bench" ".ckpt" in
+      (* a fresh (absent) path: the first attempt must start cold, not
+         trip over an empty pre-created temp file *)
+      Sys.remove path;
+      let outcome =
+        Mc.Resilient.run ~retries:4 ~budget_escalation:2.0
+          ~max_created_nodes:(max 1 (needed / 4))
+          ~max_seconds:budgets.max_seconds ~max_live_nodes:budgets.max_live
+          ~max_iterations:budgets.max_iterations ~checkpoint:path (model ())
+      in
+      Format.printf "  %s (cold run needed %d nodes):@.@[<v 2>  %a@]@.%!" name
+        needed Mc.Resilient.pp_outcome outcome;
+      if Sys.file_exists path then Sys.remove path)
+    [ ("fifo-10", List.assoc "fifo-10" cases) ]
+
 let ablations budgets =
   ablation_worstcase budgets;
   ablation_reorder budgets;
@@ -531,18 +605,23 @@ let bechamel_suite () =
 (* Command line                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let run tables run_ablations run_bechamel max_live max_seconds quick =
+let run tables run_ablations run_bechamel run_checkpoint max_live max_seconds
+    quick =
   let budgets =
     if quick then
       { max_live = 400_000; max_seconds = 30.0; max_iterations = 100 }
     else { max_live; max_seconds; max_iterations = 100 }
   in
-  let all = tables = [] && (not run_ablations) && not run_bechamel in
+  let all =
+    tables = [] && (not run_ablations) && (not run_bechamel)
+    && not run_checkpoint
+  in
   let wants t = all || List.mem t tables in
   if wants 1 then table1 budgets;
   if wants 2 then table2 budgets;
   if wants 3 then table3 budgets;
   if run_ablations || all then ablations budgets;
+  if run_checkpoint || all then bench_checkpoint budgets;
   if run_bechamel || all then bechamel_suite ();
   head "done."
 
@@ -556,6 +635,14 @@ let () =
   in
   let bechamel =
     Arg.(value & flag & info [ "bechamel" ] ~doc:"Run Bechamel micro-suite.")
+  in
+  let checkpoint =
+    Arg.(
+      value & flag
+      & info [ "checkpoint-overhead" ]
+          ~doc:
+            "Measure checkpointing overhead and escalating-budget recovery \
+             cost.")
   in
   let max_live =
     Arg.(
@@ -577,7 +664,7 @@ let () =
     Cmd.v
       (Cmd.info "bench" ~doc:"Regenerate the paper's tables and ablations")
       Term.(
-        const run $ tables $ ablations_flag $ bechamel $ max_live
-        $ max_seconds $ quick)
+        const run $ tables $ ablations_flag $ bechamel $ checkpoint
+        $ max_live $ max_seconds $ quick)
   in
   exit (Cmd.eval cmd)

@@ -39,8 +39,18 @@ let print_trace model trace =
         (if bits = [] then "all zero" else String.concat ", " bits))
     trace
 
-let run model_name depth width procs regs bound assisted bug meth_name trace
-    max_seconds max_live grow_threshold verbose =
+let parse_fallback spec =
+  List.map
+    (fun s ->
+      match Mc.Runner.of_name (String.trim s) with
+      | Some m -> m
+      | None -> failwith (Printf.sprintf "unknown fallback method %S" s))
+    (String.split_on_char ',' spec)
+
+let run_checked model_name depth width procs regs bound assisted bug meth_name
+    trace max_seconds max_live grow_threshold resilient retries
+    budget_escalation max_created checkpoint checkpoint_every resume fallback
+    verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -51,16 +61,7 @@ let run model_name depth width procs regs bound assisted bug meth_name trace
       man
   in
   let xici_cfg = { Ici.Policy.default with grow_threshold } in
-  let methods =
-    if String.lowercase_ascii meth_name = "all" then Mc.Runner.all
-    else
-      match Mc.Runner.of_name meth_name with
-      | Some m -> [ m ]
-      | None -> failwith (Printf.sprintf "unknown method %S" meth_name)
-  in
-  Format.printf "model: %s@." model.Mc.Model.name;
-  Format.printf "%s@." Mc.Report.header;
-  let show_trace meth r =
+  let show_trace label r =
     match r.Mc.Report.status with
     | Mc.Report.Violated tr when trace ->
       let validated =
@@ -69,17 +70,72 @@ let run model_name depth width procs regs bound assisted bug meth_name trace
             (Ici.Clist.of_list (Mc.Model.man model) (Mc.Model.property model))
           tr
       in
-      Format.printf "counterexample from %s (%s):@." (Mc.Runner.name meth)
+      Format.printf "counterexample from %s (%s):@." label
         (if validated then "validated" else "NOT VALID");
       print_trace model tr
     | Mc.Report.Violated _ | Mc.Report.Proved | Mc.Report.Exceeded _ -> ()
   in
-  List.iter
-    (fun meth ->
-      let r = Mc.Runner.run ~limits ~xici_cfg meth model in
-      Format.printf "%a@." Mc.Report.pp_row r;
-      show_trace meth r)
-    methods
+  Format.printf "model: %s@." model.Mc.Model.name;
+  if resilient || fallback <> "" then begin
+    (* Resilient mode: escalating-budget retries + portfolio fallback,
+       with the per-attempt log in place of a single result row. *)
+    let portfolio =
+      if fallback = "" then
+        match Mc.Runner.of_name meth_name with
+        | Some m when m <> Mc.Runner.Xici -> [ m ] @ Mc.Resilient.default_fallback
+        | _ -> Mc.Resilient.default_fallback
+      else parse_fallback fallback
+    in
+    let outcome =
+      Mc.Resilient.run ~retries ~budget_escalation
+        ?max_created_nodes:max_created ~max_seconds ~max_live_nodes:max_live
+        ~max_iterations:200 ~fallback:portfolio ?checkpoint ~xici_cfg model
+    in
+    Format.printf "%s@." Mc.Report.header;
+    Format.printf "@[<v>%a@]@." Mc.Resilient.pp_outcome outcome;
+    show_trace outcome.Mc.Resilient.final.Mc.Report.method_name
+      outcome.Mc.Resilient.final
+  end
+  else begin
+    let methods =
+      if String.lowercase_ascii meth_name = "all" then Mc.Runner.all
+      else
+        match Mc.Runner.of_name meth_name with
+        | Some m -> [ m ]
+        | None -> failwith (Printf.sprintf "unknown method %S" meth_name)
+    in
+    let resume_from =
+      Option.map (Mc.Checkpoint.load (Mc.Model.man model)) resume
+    in
+    Format.printf "%s@." Mc.Report.header;
+    List.iter
+      (fun meth ->
+        let r =
+          Mc.Runner.run ~limits ~xici_cfg ?checkpoint_path:checkpoint
+            ~checkpoint_every ?resume_from meth model
+        in
+        Format.printf "%a@." Mc.Report.pp_row r;
+        show_trace (Mc.Runner.name meth) r)
+      methods
+  end
+
+let run model_name depth width procs regs bound assisted bug meth_name trace
+    max_seconds max_live grow_threshold resilient retries budget_escalation
+    max_created checkpoint checkpoint_every resume fallback verbose =
+  try
+    run_checked model_name depth width procs regs bound assisted bug meth_name
+      trace max_seconds max_live grow_threshold resilient retries
+      budget_escalation max_created checkpoint checkpoint_every resume
+      fallback verbose
+  with
+  | Failure msg
+  | Sys_error msg
+  | Invalid_argument msg
+  | Mc.Checkpoint.Corrupt msg ->
+    (* User errors (unknown model/method, bad flag values, missing or
+       corrupt checkpoint files), not internal ones: print and fail. *)
+    Format.eprintf "icv: %s@." msg;
+    exit 2
 
 let () =
   let model =
@@ -135,6 +191,61 @@ let () =
       value & opt float 1.5
       & info [ "grow-threshold" ] ~doc:"XICI GrowThreshold (Figure 1).")
   in
+  let resilient =
+    Arg.(
+      value & flag
+      & info [ "resilient" ]
+          ~doc:
+            "Run under the resilient driver: escalating-budget retries and \
+             portfolio fallback, printing the per-attempt log.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 3
+      & info [ "retries" ] ~doc:"Attempts per method (resilient mode).")
+  in
+  let budget_escalation =
+    Arg.(
+      value & opt float 2.0
+      & info [ "budget-escalation" ]
+          ~doc:"Node-budget multiplier between attempts (resilient mode).")
+  in
+  let max_created =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-created-nodes" ]
+          ~doc:
+            "Initial created-node budget; escalated between resilient \
+             attempts.")
+  in
+  let checkpoint =
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Snapshot XICI fixpoint state to $(docv) every \
+             --checkpoint-every iterations; resilient retries resume from \
+             it.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 1
+      & info [ "checkpoint-every" ] ~doc:"Iterations between checkpoints.")
+  in
+  let resume =
+    Arg.(
+      value & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:"Resume an XICI run from a checkpoint written by --checkpoint.")
+  in
+  let fallback =
+    Arg.(
+      value & opt string ""
+      & info [ "fallback" ] ~docv:"M1,M2,..."
+          ~doc:
+            "Portfolio for resilient mode (comma-separated method names, \
+             tried in order).  Implies --resilient.")
+  in
   let verbose =
     Arg.(
       value & flag
@@ -145,6 +256,8 @@ let () =
       (Cmd.info "icv" ~doc:"Verify the paper's example models")
       Term.(
         const run $ model $ depth $ width $ procs $ regs $ bound $ assisted
-        $ bug $ meth $ trace $ max_seconds $ max_live $ grow $ verbose)
+        $ bug $ meth $ trace $ max_seconds $ max_live $ grow $ resilient
+        $ retries $ budget_escalation $ max_created $ checkpoint
+        $ checkpoint_every $ resume $ fallback $ verbose)
   in
   exit (Cmd.eval cmd)

@@ -70,7 +70,11 @@ let peak_live_nodes (man : man) = man.Man.peak_live
 let clear_caches = Man.clear_caches
 let gc = Man.gc
 let set_progress_hook = Man.set_progress_hook
+let progress_hook = Man.progress_hook
+let set_fault_hook = Man.set_fault_hook
 let with_node_budget = Man.with_node_budget
+
+exception Node_budget_exhausted = Man.Node_budget_exhausted
 let steps = Man.steps
 
 module Dot = Dot

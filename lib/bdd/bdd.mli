@@ -191,6 +191,24 @@ val set_progress_hook : man -> (man -> unit) option -> unit
     single BDD operation; raising from it aborts the operation (this is
     how resource budgets interrupt blown-up images). *)
 
+val progress_hook : man -> (man -> unit) option
+(** The currently installed progress hook, so guards can chain and
+    restore it. *)
+
+val set_fault_hook : man -> (man -> unit) option -> unit
+(** Fault-injection point: unlike the sampled progress hook, this
+    callback is consulted on {e every} recursion step and node creation,
+    so a hook keyed on {!created_nodes} or {!steps} raises at an exact,
+    reproducible point.  Intended for tests that exercise resource-
+    exhaustion recovery paths (checkpoint write, budget restoration,
+    portfolio fallback) deterministically instead of only on real
+    blowups. *)
+
+exception Node_budget_exhausted
+(** Raised by the {!with_node_budget} guard hook (and catchable by
+    resilient drivers when a fault-injection hook raises it outside any
+    budget region). *)
+
 val with_node_budget :
   ?max_steps:int -> man -> max_new_nodes:int -> (unit -> 'a) -> 'a option
 (** Run a computation that is abandoned ([None]) once it has created

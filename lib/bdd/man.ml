@@ -43,6 +43,7 @@ type t = {
   mutable next_vcompose_id : int;
   mutable cache_entries_budget : int;
   mutable progress_hook : (t -> unit) option;
+  mutable fault_hook : (t -> unit) option;
 }
 
 let create ?(cache_budget = 2_000_000) () =
@@ -70,6 +71,7 @@ let create ?(cache_budget = 2_000_000) () =
     next_vcompose_id = 0;
     cache_entries_budget = cache_budget;
     progress_hook = None;
+    fault_hook = None;
   }
 
 let clear_caches man =
@@ -89,6 +91,8 @@ let maybe_trim_caches man =
   let entries =
     Hashtbl.length man.cache_ite + Hashtbl.length man.cache_and_exists
     + Hashtbl.length man.cache_exists + Hashtbl.length man.cache_vcompose
+    + Hashtbl.length man.cache_restrict + Hashtbl.length man.cache_constrain
+    + Hashtbl.length man.cache_cofactor + Hashtbl.length man.cache_rename
   in
   if entries > man.cache_entries_budget then begin
     clear_caches man;
@@ -100,6 +104,7 @@ let maybe_trim_caches man =
    that churn without creating nodes (pure cache-hit avalanches). *)
 let tick man =
   man.steps <- man.steps + 1;
+  (match man.fault_hook with None -> () | Some hook -> hook man);
   if man.steps land 0xFFFF = 0 then
     match man.progress_hook with None -> () | Some hook -> hook man
 
@@ -126,6 +131,7 @@ let intern man lvl lo lo_neg hi =
   if found == probe then begin
     man.next_id <- man.next_id + 1;
     man.created <- man.created + 1;
+    (match man.fault_hook with None -> () | Some hook -> hook man);
     (* [Node_set.count] scans the whole table, so the live-node peak is
        sampled only every 64K insertions (and on demand).  The same
        cadence drives the progress hook (resource-limit checks that can
@@ -152,18 +158,23 @@ let rec mk man lvl ~low ~high =
       neg = false }
   end
 
+(* [names] is a growable array: [nvars] is the logical length, the rest
+   is spare capacity doubled on demand (wide models allocate thousands
+   of variables, so per-variable reallocation would be quadratic). *)
 let new_var ?name man =
   let lvl = man.nvars in
   man.nvars <- man.nvars + 1;
   let label = match name with Some s -> s | None -> Printf.sprintf "v%d" lvl in
-  let names = Array.make man.nvars "" in
-  Array.blit man.names 0 names 0 (Array.length man.names);
-  names.(lvl) <- label;
-  man.names <- names;
+  if man.nvars > Array.length man.names then begin
+    let grown = Array.make (max 16 (2 * Array.length man.names)) "" in
+    Array.blit man.names 0 grown 0 (Array.length man.names);
+    man.names <- grown
+  end;
+  man.names.(lvl) <- label;
   lvl
 
 let var_name man lvl =
-  if lvl >= 0 && lvl < Array.length man.names then man.names.(lvl)
+  if lvl >= 0 && lvl < man.nvars then man.names.(lvl)
   else Printf.sprintf "v%d" lvl
 
 (* The BDD for a single variable / its negation. *)
@@ -206,6 +217,13 @@ let perm_id man perm =
     id
 
 let set_progress_hook man hook = man.progress_hook <- hook
+let progress_hook man = man.progress_hook
+
+(* Unlike the (sampled) progress hook, the fault hook is consulted on
+   every recursion step and every node creation, so a hook keyed on
+   [created] or [steps] fires at an exact, reproducible point.  Used by
+   the resilience tests to inject deterministic budget blowups. *)
+let set_fault_hook man hook = man.fault_hook <- hook
 
 (* Intern a simultaneous-substitution vector (compared physically: the
    caller keeps the array alive for the duration of its use). *)

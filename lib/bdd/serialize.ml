@@ -48,40 +48,53 @@ exception Parse_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
 
+(* All parse failures surface as [Parse_error]: a truncated file must
+   not leak [End_of_file] and a malformed count must not leak
+   [Failure _] -- callers (checkpoint recovery in particular) rely on
+   one exception to detect a corrupt input. *)
+let next_line ic =
+  try input_line ic with End_of_file -> fail "truncated file"
+
+let int_field what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail "bad %s %S" what s
+
 (* Read BDDs back, rebuilding through the manager's [mk] so the result
    is properly hash-consed (and shared with existing nodes).  [map]
    relocates levels (identity by default); it must be order-preserving
    or the read fails through [mk]'s canonicity assertion. *)
 let read ?map man ic =
   let map = match map with Some f -> f | None -> Fun.id in
-  let header = input_line ic in
+  let header = next_line ic in
   let nodes, roots =
     match String.split_on_char ' ' header with
-    | [ "bdd"; n; r ] -> (int_of_string n, int_of_string r)
+    | [ "bdd"; n; r ] -> (int_field "node count" n, int_field "root count" r)
     | _ -> fail "bad header %S" header
   in
+  if nodes < 0 || roots < 0 then fail "bad header %S" header;
   let table = Hashtbl.create (nodes + 1) in
   Hashtbl.replace table 0 tru;
   for _ = 1 to nodes do
-    let line = input_line ic in
+    let line = next_line ic in
     match String.split_on_char ' ' line with
     | [ id; level; low; low_neg; high ] ->
       let edge key neg =
-        match Hashtbl.find_opt table (int_of_string key) with
+        match Hashtbl.find_opt table (int_field "node id" key) with
         | Some e -> if neg then Repr.neg e else e
         | None -> fail "node %s references unknown node %s" id key
       in
       let low = edge low (low_neg = "1") in
       let high = edge high false in
-      let e = Man.mk man (map (int_of_string level)) ~low ~high in
-      Hashtbl.replace table (int_of_string id) e
+      let e = Man.mk man (map (int_field "level" level)) ~low ~high in
+      Hashtbl.replace table (int_field "node id" id) e
     | _ -> fail "bad node line %S" line
   done;
   List.init roots (fun _ ->
-      let line = input_line ic in
+      let line = next_line ic in
       match String.split_on_char ' ' line with
       | [ "root"; id; neg ] -> (
-        match Hashtbl.find_opt table (int_of_string id) with
+        match Hashtbl.find_opt table (int_field "root id" id) with
         | Some e -> if neg = "1" then Repr.neg e else e
         | None -> fail "unknown root %s" id)
       | _ -> fail "bad root line %S" line)

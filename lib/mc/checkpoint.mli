@@ -1,0 +1,43 @@
+(** On-disk snapshots of XICI fixpoint state.
+
+    A budgeted XICI run that dies with "Exceeded ..." loses the implicit
+    conjunction [G_i] it had converged towards; a checkpoint preserves
+    it, so a retry (possibly with a bigger budget) resumes at the last
+    completed iteration instead of iteration 0.
+
+    The format is versioned text over {!Bdd.Serialize} with a trailing
+    end marker; any corruption -- truncation, bad fields, dangling node
+    references, count mismatches -- raises {!Corrupt} on read.  Saves
+    are atomic (temp file + rename), so an interrupted write never
+    destroys the previous good checkpoint. *)
+
+type termination = [ `Exact_equal | `Exact_implication | `Pointwise ]
+(** Structurally equal to {!Xici.termination}. *)
+
+type t = {
+  model_name : string;
+  nvars : int;  (** variable count of the producing manager *)
+  iterations : int;  (** completed XICI iterations *)
+  cfg : Ici.Policy.config;
+  termination : termination;
+  current : Ici.Clist.t;  (** the implicit conjunction G_i *)
+  gs : Ici.Clist.t list;  (** the G history, most recent first *)
+}
+
+exception Corrupt of string
+
+val save : Bdd.man -> string -> t -> unit
+(** Atomic write (temp file + rename). *)
+
+val load : Bdd.man -> string -> t
+(** Raises {!Corrupt} on any malformed input; conjunct BDDs are rebuilt
+    through the manager's unique table. *)
+
+val load_opt : Bdd.man -> string -> t option
+(** [None] when the file does not exist; {!Corrupt} when it exists but
+    is malformed. *)
+
+val check_compatible : t -> Model.t -> unit
+(** Raises {!Corrupt} when the checkpoint's model name or variable count
+    does not match (its conjuncts would be meaningless over a different
+    variable allocation). *)

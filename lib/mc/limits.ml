@@ -12,6 +12,10 @@ type t = {
   started_at : float;
 }
 
+(* [started_at] is a monotonic-clock reading: wall-clock (gettimeofday)
+   budgets are vulnerable to NTP steps, which can spuriously kill or
+   indefinitely extend a run.  [elapsed] keeps its seconds-since-start
+   semantics for reports. *)
 let start ?max_created_nodes ?max_live_nodes ?max_seconds ?max_iterations man
     =
   {
@@ -20,7 +24,7 @@ let start ?max_created_nodes ?max_live_nodes ?max_seconds ?max_iterations man
     max_seconds;
     max_iterations;
     baseline_nodes = Bdd.created_nodes man;
-    started_at = Unix.gettimeofday ();
+    started_at = Monotonic.now ();
   }
 
 let unlimited man = start man
@@ -38,7 +42,7 @@ let check t man =
     raise (Exceeded (Printf.sprintf "exceeded %d live BDD nodes" n))
   | Some _ | None -> ());
   match t.max_seconds with
-  | Some s when Unix.gettimeofday () -. t.started_at > s ->
+  | Some s when Monotonic.now () -. t.started_at > s ->
     raise (Exceeded (Printf.sprintf "exceeded %.0f seconds" s))
   | Some _ | None -> ()
 
@@ -49,10 +53,18 @@ let check_iteration t man ~iteration =
     raise (Exceeded (Printf.sprintf "no convergence after %d iterations" n))
   | Some _ | None -> ()
 
-let elapsed t = Unix.gettimeofday () -. t.started_at
+let elapsed t = Monotonic.now () -. t.started_at
 
 (* Install the manager progress hook for the duration of [f], so node
-   and time budgets interrupt even a single blown-up BDD operation. *)
+   and time budgets interrupt even a single blown-up BDD operation.
+   Any previously installed hook keeps running (chained) and is
+   restored afterwards -- including when [f] escapes by exception, which
+   is the normal exit path for a blown budget. *)
 let with_guard t man f =
-  Bdd.set_progress_hook man (Some (fun man -> check t man));
-  Fun.protect ~finally:(fun () -> Bdd.set_progress_hook man None) f
+  let old = Bdd.progress_hook man in
+  let hook m =
+    (match old with Some h -> h m | None -> ());
+    check t m
+  in
+  Bdd.set_progress_hook man (Some hook);
+  Fun.protect ~finally:(fun () -> Bdd.set_progress_hook man old) f

@@ -26,4 +26,5 @@ val elapsed : t -> float
 val with_guard : t -> Bdd.man -> (unit -> 'a) -> 'a
 (** Run [f] with the manager's progress hook checking these budgets, so
     [Exceeded] can interrupt even a single blown-up image computation
-    (the paper's "Exceeded 60MB" rows). *)
+    (the paper's "Exceeded 60MB" rows).  Any previously installed hook
+    keeps running and is restored afterwards, also when [f] raises. *)

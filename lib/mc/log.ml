@@ -10,3 +10,6 @@ let iteration ~meth ~iteration ~conjuncts ~nodes =
   L.debug (fun m ->
       m "%s iteration %d: %d conjunct(s), %d shared nodes" meth iteration
         conjuncts nodes)
+
+let attempt ~label ~detail =
+  L.info (fun m -> m "attempt %s: %s" label detail)

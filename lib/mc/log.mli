@@ -5,3 +5,6 @@ val src : Logs.src
 val iteration :
   meth:string -> iteration:int -> conjuncts:int -> nodes:int -> unit
 (** Debug-level per-iteration report. *)
+
+val attempt : label:string -> detail:string -> unit
+(** Info-level resilient-driver attempt report. *)

@@ -1,0 +1,14 @@
+/* Monotonic clock for resource budgets: CLOCK_MONOTONIC is immune to
+   NTP steps and manual clock changes, which would otherwise spuriously
+   kill (or indefinitely extend) a budgeted verification run. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value icv_monotonic_now_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

@@ -69,6 +69,10 @@ let observe_set peak (xs : Bdd.t list) =
       List.sort (fun a b -> compare b a) (List.map Bdd.size xs)
   end
 
+(* Attempt logs (Resilient) tag rows with the attempt number/budget
+   without rebuilding the report. *)
+let relabel r ~method_name = { r with method_name }
+
 let make ~model ~method_name ~status ~iterations ~peak ~man ~baseline ~time_s =
   {
     model;

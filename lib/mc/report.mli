@@ -30,6 +30,10 @@ val conjuncts_string : int list -> string
 val pp_row : Format.formatter -> t -> unit
 val header : string
 
+val relabel : t -> method_name:string -> t
+(** The same report under a different method label (attempt logs tag
+    rows with the attempt number and budget). *)
+
 (** {1 Peak tracking used by the method implementations} *)
 
 type peak

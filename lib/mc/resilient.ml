@@ -1,0 +1,157 @@
+(* Resilient verification driver: structured outcomes instead of bare
+   exceptions.
+
+   Resource exhaustion is the *expected* failure mode of monolithic-BDD
+   verification (the paper's tables are full of "Exceeded 60MB" rows),
+   so a production runner must treat a blown budget as a scheduling
+   event, not a fatal error.  This driver wraps the methods behind
+
+   - retry with escalating node budgets (doubling by default, capped),
+   - portfolio fallback across methods (XICI -> ICI -> FD by default),
+   - XICI checkpoint/resume, so retries keep the fixpoint progress the
+     failed attempt already paid for,
+
+   and emits a per-attempt [Report.t] log so bench tables can show
+   which attempt succeeded and at what cumulative cost. *)
+
+type attempt = {
+  meth : Runner.meth;
+  index : int; (* 1-based attempt number across the whole portfolio *)
+  max_created_nodes : int option; (* node budget this attempt ran under *)
+  resumed_at : int option; (* checkpoint iteration the attempt resumed at *)
+  report : Report.t;
+}
+
+type outcome = {
+  final : Report.t; (* the deciding (or last failing) attempt's report *)
+  attempts : attempt list; (* chronological *)
+  total_time_s : float;
+  total_nodes_created : int;
+}
+
+let default_fallback = [ Runner.Xici; Runner.Ici; Runner.Fd ]
+
+let decided (r : Report.t) =
+  match r.Report.status with
+  | Report.Proved | Report.Violated _ -> true
+  | Report.Exceeded _ -> false
+
+let attempt_label a =
+  let budget =
+    match a.max_created_nodes with
+    | Some n when n >= 10_000 -> Printf.sprintf "/%dk" (n / 1000)
+    | Some n -> Printf.sprintf "/%d" n
+    | None -> ""
+  in
+  Printf.sprintf "%s#%d%s" (Runner.name a.meth) a.index budget
+
+let pp_attempt fmt a =
+  Report.pp_row fmt (Report.relabel a.report ~method_name:(attempt_label a))
+
+let pp_outcome fmt o =
+  List.iter (fun a -> Format.fprintf fmt "%a@," pp_attempt a) o.attempts;
+  Format.fprintf fmt "%-8s %8.2fs %5s %10d %8s   %s" "total" o.total_time_s
+    "-" o.total_nodes_created "-"
+    (Report.status_string o.final)
+
+let run ?(retries = 3) ?(budget_escalation = 2.0) ?max_created_nodes
+    ?(budget_cap = max_int) ?max_seconds ?max_live_nodes ?max_iterations
+    ?(fallback = default_fallback) ?checkpoint ?xici_cfg ?termination model =
+  if fallback = [] then invalid_arg "Resilient.run: empty fallback portfolio";
+  if retries < 1 then invalid_arg "Resilient.run: retries < 1";
+  if budget_escalation < 1.0 then
+    invalid_arg "Resilient.run: escalation < 1.0";
+  let man = Model.man model in
+  let started = Monotonic.now () in
+  let first_baseline = Bdd.created_nodes man in
+  let attempts = ref [] in
+  let index = ref 0 in
+  (* A failed attempt that died inside an operation (fault hook, budget
+     abort) reports what the attempt actually consumed. *)
+  let synthesized_report why baseline time_s =
+    Report.make ~model:model.Model.name ~method_name:"?"
+      ~status:(Report.Exceeded why) ~iterations:0 ~peak:(Report.fresh_peak ())
+      ~man ~baseline ~time_s
+  in
+  let run_attempt meth budget =
+    incr index;
+    let limits m =
+      Limits.start ?max_created_nodes:budget ?max_seconds ?max_live_nodes
+        ?max_iterations m
+    in
+    let resume_from =
+      match (meth, checkpoint) with
+      | Runner.Xici, Some path -> (
+        (* A corrupt checkpoint must degrade to a cold start, not kill
+           the job: resilience is the whole point. *)
+        try Checkpoint.load_opt man path with Checkpoint.Corrupt why ->
+          Log.attempt ~label:(Runner.name meth)
+            ~detail:(Printf.sprintf "ignoring corrupt checkpoint: %s" why);
+          None)
+      | _ -> None
+    in
+    let baseline = Bdd.created_nodes man in
+    let t0 = Monotonic.now () in
+    let report =
+      try
+        Runner.run ~limits ?xici_cfg ?termination
+          ?checkpoint_path:(if meth = Runner.Xici then checkpoint else None)
+          ?resume_from meth model
+      with
+      | Limits.Exceeded why ->
+        synthesized_report why baseline (Monotonic.now () -. t0)
+      | Bdd.Node_budget_exhausted ->
+        synthesized_report "node budget exhausted" baseline
+          (Monotonic.now () -. t0)
+    in
+    let a =
+      {
+        meth;
+        index = !index;
+        max_created_nodes = budget;
+        resumed_at =
+          Option.map (fun cp -> cp.Checkpoint.iterations) resume_from;
+        report;
+      }
+    in
+    attempts := a :: !attempts;
+    Log.attempt ~label:(attempt_label a)
+      ~detail:(Report.status_string report);
+    report
+  in
+  let escalate budget =
+    Option.map
+      (fun b ->
+        min budget_cap
+          (max (b + 1) (int_of_float (float_of_int b *. budget_escalation))))
+      budget
+  in
+  let rec try_method meth budget attempt_no =
+    let report = run_attempt meth budget in
+    if decided report then Some report
+    else if
+      (* Without a node budget there is nothing to escalate, and an
+         identical retry would fail identically -- unless a checkpoint
+         lets XICI continue past where the last attempt died. *)
+      attempt_no < retries
+      && (budget <> None || (meth = Runner.Xici && checkpoint <> None))
+    then try_method meth (escalate budget) (attempt_no + 1)
+    else None
+  in
+  let rec portfolio = function
+    | [] ->
+      (match !attempts with
+      | last :: _ -> last.report
+      | [] -> assert false)
+    | meth :: rest -> (
+      match try_method meth max_created_nodes 1 with
+      | Some report -> report
+      | None -> portfolio rest)
+  in
+  let final = portfolio fallback in
+  {
+    final;
+    attempts = List.rev !attempts;
+    total_time_s = Monotonic.now () -. started;
+    total_nodes_created = Bdd.created_nodes man - first_baseline;
+  }

@@ -1,0 +1,65 @@
+(** Resilient verification driver: retry with escalating budgets,
+    portfolio fallback across methods, and checkpoint-aware XICI
+    restarts -- structured outcomes instead of bare exceptions.
+
+    Each method in the [fallback] portfolio is attempted up to [retries]
+    times, the node budget multiplied by [budget_escalation] (capped at
+    [budget_cap]) after every failed attempt.  A [Proved] or [Violated]
+    verdict ends the run immediately; only [Exceeded] escalates.  When
+    [checkpoint] is given, XICI attempts snapshot their fixpoint state
+    there and later attempts resume from it, so retries keep the
+    progress the failed attempt already paid for (a corrupt checkpoint
+    degrades to a cold start).  Exceptions escaping a method --
+    [Limits.Exceeded] from a hook, [Bdd.Node_budget_exhausted] from a
+    fault-injection hook -- are converted into [Exceeded] attempts
+    rather than killing the job. *)
+
+type attempt = {
+  meth : Runner.meth;
+  index : int;  (** 1-based attempt number across the whole portfolio *)
+  max_created_nodes : int option;  (** node budget of this attempt *)
+  resumed_at : int option;
+      (** checkpoint iteration the attempt resumed from, if any *)
+  report : Report.t;
+}
+
+type outcome = {
+  final : Report.t;
+      (** the deciding attempt's report, or the last failure *)
+  attempts : attempt list;  (** chronological attempt log *)
+  total_time_s : float;  (** cumulative wall time across attempts *)
+  total_nodes_created : int;  (** cumulative node creations *)
+}
+
+val default_fallback : Runner.meth list
+(** [XICI -> ICI -> FD]. *)
+
+val attempt_label : attempt -> string
+(** ["XICI#2/100k"]-style row label: method, attempt number, budget. *)
+
+val pp_attempt : Format.formatter -> attempt -> unit
+(** One {!Report.pp_row}-formatted line, labelled by {!attempt_label}. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** The full attempt log followed by a cumulative summary row. *)
+
+val run :
+  ?retries:int ->
+  ?budget_escalation:float ->
+  ?max_created_nodes:int ->
+  ?budget_cap:int ->
+  ?max_seconds:float ->
+  ?max_live_nodes:int ->
+  ?max_iterations:int ->
+  ?fallback:Runner.meth list ->
+  ?checkpoint:string ->
+  ?xici_cfg:Ici.Policy.config ->
+  ?termination:Xici.termination ->
+  Model.t ->
+  outcome
+(** Defaults: [retries = 3], [budget_escalation = 2.0], no initial node
+    budget (methods then get one attempt each unless a checkpoint makes
+    an XICI retry meaningful), [fallback = default_fallback].
+    [max_seconds]/[max_live_nodes]/[max_iterations] apply per attempt,
+    unescalated.  Raises [Invalid_argument] on an empty portfolio,
+    [retries < 1] or [budget_escalation < 1.0]. *)

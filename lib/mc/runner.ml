@@ -29,12 +29,17 @@ let of_name s =
   | "expl" | "explicit" -> Some Explicit
   | _ -> None
 
-let run ?limits ?xici_cfg ?termination meth model =
+(* The checkpoint/resume options only apply to XICI (the only method
+   with serializable fixpoint state); other methods ignore them. *)
+let run ?limits ?xici_cfg ?termination ?checkpoint_path ?checkpoint_every
+    ?resume_from meth model =
   match meth with
   | Forward -> Forward.run ?limits model
   | Backward -> Backward.run ?limits model
   | Fd -> Fd.run ?limits model
   | Ici -> Ici_method.run ?limits model
-  | Xici -> Xici.run ?limits ?cfg:xici_cfg ?termination model
+  | Xici ->
+    Xici.run ?limits ?cfg:xici_cfg ?termination ?checkpoint_path
+      ?checkpoint_every ?resume_from model
   | Idi -> Forward_idi.run ?limits ?cfg:xici_cfg model
   | Explicit -> Explicit.run ?limits model

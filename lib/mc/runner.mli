@@ -16,6 +16,11 @@ val run :
   ?limits:(Bdd.man -> Limits.t) ->
   ?xici_cfg:Ici.Policy.config ->
   ?termination:Xici.termination ->
+  ?checkpoint_path:string ->
+  ?checkpoint_every:int ->
+  ?resume_from:Checkpoint.t ->
   meth ->
   Model.t ->
   Report.t
+(** The checkpoint/resume options apply to [Xici] only (the only method
+    with serializable fixpoint state); other methods ignore them. *)

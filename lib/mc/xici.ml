@@ -20,10 +20,33 @@ let lists_pointwise_equal a b =
   List.length a = List.length b && List.for_all2 Bdd.equal a b
 
 (* [run_full] also returns the converged implicit conjunction (the
-   automatically derived invariants) when the run proves the property. *)
-let run_full ?(limits = fun man -> Limits.unlimited man)
-    ?(cfg = Ici.Policy.default) ?(termination = `Exact_equal)
-    ?(var_choice = Ici.Tautology.First_top) ?tautology_stats model =
+   automatically derived invariants) when the run proves the property.
+
+   With [checkpoint_path] the fixpoint state is snapshotted every
+   [checkpoint_every] iterations (at the top of the iteration, before
+   any budget check, so a kill at any point loses at most the current
+   iteration); with [resume_from] the traversal restarts from a
+   snapshot instead of from G_0.  When resuming, [cfg] and
+   [termination] default to the checkpointed values so the continued
+   run uses the policy that produced the snapshot. *)
+let run_full ?(limits = fun man -> Limits.unlimited man) ?cfg ?termination
+    ?(var_choice = Ici.Tautology.First_top) ?tautology_stats
+    ?checkpoint_path ?(checkpoint_every = 1) ?resume_from model =
+  let cfg =
+    match (cfg, resume_from) with
+    | Some c, _ -> c
+    | None, Some (cp : Checkpoint.t) -> cp.Checkpoint.cfg
+    | None, None -> Ici.Policy.default
+  in
+  let termination =
+    match (termination, resume_from) with
+    | Some t, _ -> t
+    | None, Some cp -> cp.Checkpoint.termination
+    | None, None -> `Exact_equal
+  in
+  (match resume_from with
+  | Some cp -> Checkpoint.check_compatible cp model
+  | None -> ());
   let man = Model.man model in
   let trans = model.Model.trans in
   let lim = limits man in
@@ -49,10 +72,26 @@ let run_full ?(limits = fun man -> Limits.unlimited man)
       Ici.Tautology.equal ~var_choice ~stats:taut_stats man l l'
   in
   let final = ref None in
+  let maybe_checkpoint l gs =
+    match checkpoint_path with
+    | Some path when !iterations mod max 1 checkpoint_every = 0 ->
+      Checkpoint.save man path
+        {
+          Checkpoint.model_name = model.Model.name;
+          nvars = Bdd.num_vars man;
+          iterations = !iterations;
+          cfg;
+          termination;
+          current = l;
+          gs;
+        }
+    | Some _ | None -> ()
+  in
   Limits.with_guard lim man (fun () ->
     try
       let l0 = Ici.Clist.of_list man (Model.property model) in
       let rec iterate l gs =
+        maybe_checkpoint l gs;
         Limits.check_iteration lim man ~iteration:!iterations;
         Report.observe_set peak l;
         Log.iteration ~meth:"XICI" ~iteration:!iterations
@@ -89,11 +128,20 @@ let run_full ?(limits = fun man -> Limits.unlimited man)
           end
           else iterate l' (l' :: gs)
       in
-      let start_list = Ici.Policy.improve man cfg l0 in
-      let report = iterate start_list [ start_list ] in
+      let report =
+        match resume_from with
+        | Some cp ->
+          iterations := cp.Checkpoint.iterations;
+          iterate cp.Checkpoint.current cp.Checkpoint.gs
+        | None ->
+          let start_list = Ici.Policy.improve man cfg l0 in
+          iterate start_list [ start_list ]
+      in
       (report, !final)
     with Limits.Exceeded why -> (finish (Report.Exceeded why), None))
 
-let run ?limits ?cfg ?termination ?var_choice ?tautology_stats model =
+let run ?limits ?cfg ?termination ?var_choice ?tautology_stats
+    ?checkpoint_path ?checkpoint_every ?resume_from model =
   fst
-    (run_full ?limits ?cfg ?termination ?var_choice ?tautology_stats model)
+    (run_full ?limits ?cfg ?termination ?var_choice ?tautology_stats
+       ?checkpoint_path ?checkpoint_every ?resume_from model)

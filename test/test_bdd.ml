@@ -208,6 +208,98 @@ let test_serialize_rejects_garbage () =
      with Bdd.Serialize.Parse_error _ -> true);
   Sys.remove path
 
+let test_serialize_error_paths () =
+  (* Every malformed input must surface as [Parse_error] -- never as a
+     leaked [End_of_file] or [Failure] -- so checkpoint recovery can
+     rely on one exception to detect corruption. *)
+  let man, _ = Testutil.fresh_man 2 in
+  let path = Filename.temp_file "bdd" ".txt" in
+  let rejects label contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    Alcotest.(check bool) label true
+      (try
+         ignore (Bdd.Serialize.of_file man path);
+         false
+       with
+      | Bdd.Serialize.Parse_error _ -> true
+      | End_of_file -> false)
+  in
+  rejects "empty file" "";
+  rejects "non-integer counts" "bdd x 1\n";
+  rejects "negative counts" "bdd -1 0\n";
+  rejects "truncated node section" "bdd 3 1\n1 0 0 0 0\n";
+  rejects "missing roots" "bdd 1 1\n1 0 0 0 0\n";
+  rejects "dangling node reference" "bdd 1 1\n1 0 7 0 0\nroot 1 0\n";
+  rejects "dangling root reference" "bdd 0 1\nroot 3 0\n";
+  Sys.remove path
+
+let test_fault_hook () =
+  (* The fault hook is consulted on every node creation, so a hook keyed
+     on [created_nodes] fires at an exact, reproducible point. *)
+  let man, vars = Testutil.fresh_man 8 in
+  let target = Bdd.created_nodes man + 3 in
+  Bdd.set_fault_hook man
+    (Some
+       (fun m -> if Bdd.created_nodes m >= target then raise Exit));
+  let conj () =
+    Bdd.conj man (Array.to_list (Array.map (Bdd.var man) vars))
+  in
+  Alcotest.(check bool) "fault raised" true
+    (try
+       ignore (conj ());
+       false
+     with Exit -> true);
+  Alcotest.(check int) "raised at the exact creation count" target
+    (Bdd.created_nodes man);
+  Bdd.set_fault_hook man None;
+  Alcotest.(check bool) "clean after hook removal" true
+    (Bdd.size (conj ()) = 9)
+
+let test_node_budget_nesting () =
+  (* An enclosing progress hook must keep running inside a
+     [with_node_budget] region and be restored after the region aborts. *)
+  let man, vars = Testutil.fresh_man 12 in
+  let xor_of lvls =
+    Array.fold_left
+      (fun acc l -> Bdd.bxor man acc (Bdd.var man l))
+      (Bdd.fls man) lvls
+  in
+  let f = xor_of (Array.sub vars 0 6) in
+  let g = xor_of (Array.sub vars 6 6) in
+  (* Clearing memo caches each pass forces real recursion steps on a
+     recomputation, so the 64K-step progress cadence is reached. *)
+  let churn target =
+    let start = Bdd.steps man in
+    let passes = ref 0 in
+    while Bdd.steps man - start < target && !passes < 1_000_000 do
+      incr passes;
+      Bdd.clear_caches man;
+      ignore (Bdd.band man f g)
+    done
+  in
+  let fired = ref 0 in
+  let outer (_ : Bdd.man) = incr fired in
+  Bdd.set_progress_hook man (Some outer);
+  let inner =
+    Bdd.with_node_budget man ~max_steps:1 ~max_new_nodes:max_int (fun () ->
+        churn 200_000)
+  in
+  Alcotest.(check bool) "inner budget aborted" true (inner = None);
+  Alcotest.(check bool) "enclosing hook ran inside the region" true
+    (!fired >= 1);
+  (match Bdd.progress_hook man with
+  | Some h ->
+    Alcotest.(check bool) "enclosing hook restored after abort" true
+      (h == outer)
+  | None -> Alcotest.fail "progress hook dropped by with_node_budget");
+  let before = !fired in
+  churn 131_072;
+  Alcotest.(check bool) "enclosing hook still fires after abort" true
+    (!fired > before);
+  Bdd.set_progress_hook man None
+
 let test_cubes_unit () =
   let man, vars = Testutil.fresh_man 3 in
   let x = Bdd.var man vars.(0) and z = Bdd.var man vars.(2) in
@@ -573,6 +665,12 @@ let () =
             test_serialize_rejects_garbage;
           Alcotest.test_case "serialize level relocation" `Quick
             test_serialize_relocation;
+          Alcotest.test_case "serialize error paths" `Quick
+            test_serialize_error_paths;
+          Alcotest.test_case "fault hook fires exactly" `Quick
+            test_fault_hook;
+          Alcotest.test_case "node budget nests" `Quick
+            test_node_budget_nesting;
           Alcotest.test_case "cube counting" `Quick test_cubes_unit;
           Alcotest.test_case "reorder finds interleaving" `Quick
             test_reorder_interleaves;

@@ -1,0 +1,414 @@
+(* Resilience-layer tests: monotonic clock, budget-guard chaining,
+   checkpoint save/load/corruption handling, fault-injected kill +
+   resume, and the resilient driver's escalating budgets and portfolio
+   fallback.
+
+   The vehicle is a 4-bit saturating chain: 0 is a fixed point, any
+   nonzero value marches deterministically up to 15 and sticks there.
+   Reachable = {0}, so "never 15" holds -- but the backward fixpoint
+   must peel one value per iteration, giving a run long enough that
+   killing it mid-fixpoint and resuming from its checkpoint is
+   observable in the iteration counts. *)
+
+let chain_width = 4
+let chain_top = (1 lsl chain_width) - 1
+
+let chain_model () =
+  let sp = Fsm.Space.create () in
+  let w = Fsm.Space.state_word ~name:"c" sp ~width:chain_width in
+  let man = Fsm.Space.man sp in
+  let c = Fsm.Space.cur_vec sp w in
+  let konst k = Bvec.const man ~width:chain_width k in
+  let inc = Bvec.add man c (konst 1) in
+  let nextv =
+    Bvec.mux man
+      (Bvec.eq man c (konst 0))
+      (konst 0)
+      (Bvec.mux man (Bvec.eq man c (konst chain_top)) (konst chain_top) inc)
+  in
+  let assigns = Array.to_list (Array.mapi (fun i l -> (l, nextv.(i))) w) in
+  let trans = Fsm.Trans.make sp ~assigns in
+  let init = Bvec.eq man c (konst 0) in
+  let good = [ Bdd.bnot man (Bvec.eq man c (konst chain_top)) ] in
+  Mc.Model.make ~name:"chain" ~space:sp ~trans ~init ~good ()
+
+let limits man =
+  Mc.Limits.start ~max_iterations:100 ~max_created_nodes:2_000_000 man
+
+let run_xici ?checkpoint_path ?resume_from model =
+  Mc.Xici.run ~limits ?checkpoint_path ?resume_from model
+
+(* A fresh path that does not exist yet (checkpoint saves create it). *)
+let temp_path () =
+  let path = Filename.temp_file "icv-test" ".ckpt" in
+  Sys.remove path;
+  path
+
+let cleanup path = if Sys.file_exists path then Sys.remove path
+
+let is_exceeded (r : Mc.Report.t) =
+  match r.Mc.Report.status with
+  | Mc.Report.Exceeded _ -> true
+  | Mc.Report.Proved | Mc.Report.Violated _ -> false
+
+(* --- monotonic clock ------------------------------------------------ *)
+
+let test_monotonic () =
+  let prev = ref (Mc.Monotonic.now_ns ()) in
+  for _ = 1 to 1000 do
+    let t = Mc.Monotonic.now_ns () in
+    Alcotest.(check bool) "now_ns never decreases" true
+      (Int64.compare t !prev >= 0);
+    prev := t
+  done;
+  let t0 = Mc.Monotonic.now () in
+  let t1 = Mc.Monotonic.now () in
+  Alcotest.(check bool) "now never decreases" true (t1 >= t0)
+
+let test_limits_elapsed () =
+  let model = chain_model () in
+  let lim = Mc.Limits.start (Mc.Model.man model) in
+  let e0 = Mc.Limits.elapsed lim in
+  Alcotest.(check bool) "elapsed non-negative" true (e0 >= 0.0);
+  Alcotest.(check bool) "elapsed non-decreasing" true
+    (Mc.Limits.elapsed lim >= e0)
+
+(* --- with_guard hook chaining and restoration ----------------------- *)
+
+let test_with_guard_restores () =
+  let model = chain_model () in
+  let man = Mc.Model.man model in
+  let calls = ref 0 in
+  let outer (_ : Bdd.man) = incr calls in
+  Bdd.set_progress_hook man (Some outer);
+  (* A zero time budget blows on the first check; busy-wait one clock
+     tick so elapsed is strictly positive. *)
+  let lim = Mc.Limits.start ~max_seconds:0.0 man in
+  let t0 = Mc.Monotonic.now () in
+  while Mc.Monotonic.now () <= t0 do () done;
+  let raised =
+    try
+      Mc.Limits.with_guard lim man (fun () ->
+          match Bdd.progress_hook man with
+          | Some hook ->
+            hook man;
+            false (* the chained guard hook must have raised *)
+          | None -> false)
+    with Mc.Limits.Exceeded _ -> true
+  in
+  Alcotest.(check bool) "guard raised through chained hook" true raised;
+  Alcotest.(check bool) "enclosing hook still called" true (!calls >= 1);
+  (match Bdd.progress_hook man with
+  | Some h ->
+    Alcotest.(check bool) "enclosing hook restored after raise" true
+      (h == outer)
+  | None -> Alcotest.fail "progress hook dropped by with_guard");
+  Bdd.set_progress_hook man None
+
+(* --- checkpoint save/load ------------------------------------------- *)
+
+let same_clist a b =
+  List.length a = List.length b && List.for_all2 Bdd.equal a b
+
+let test_checkpoint_roundtrip () =
+  let model = chain_model () in
+  let man = Mc.Model.man model in
+  let l0 = Ici.Clist.of_list man (Mc.Model.property model) in
+  let init = model.Mc.Model.init in
+  let cp =
+    {
+      Mc.Checkpoint.model_name = model.Mc.Model.name;
+      nvars = Bdd.num_vars man;
+      iterations = 7;
+      cfg = { Ici.Policy.default with grow_threshold = 1.25 };
+      termination = `Exact_implication;
+      current = Ici.Clist.of_list man (init :: l0);
+      gs = [ l0; Ici.Clist.of_list man [ init ] ];
+    }
+  in
+  let path = temp_path () in
+  Mc.Checkpoint.save man path cp;
+  let cp' = Mc.Checkpoint.load man path in
+  cleanup path;
+  Alcotest.(check string)
+    "model name" cp.Mc.Checkpoint.model_name cp'.Mc.Checkpoint.model_name;
+  Alcotest.(check int) "nvars" cp.Mc.Checkpoint.nvars cp'.Mc.Checkpoint.nvars;
+  Alcotest.(check int) "iterations" 7 cp'.Mc.Checkpoint.iterations;
+  Alcotest.(check bool) "termination" true
+    (cp'.Mc.Checkpoint.termination = `Exact_implication);
+  Alcotest.(check (float 1e-9))
+    "grow threshold" 1.25
+    cp'.Mc.Checkpoint.cfg.Ici.Policy.grow_threshold;
+  Alcotest.(check bool) "current round-trips" true
+    (same_clist cp.Mc.Checkpoint.current cp'.Mc.Checkpoint.current);
+  Alcotest.(check bool) "gs round-trips" true
+    (List.length cp.Mc.Checkpoint.gs = List.length cp'.Mc.Checkpoint.gs
+    && List.for_all2 same_clist cp.Mc.Checkpoint.gs cp'.Mc.Checkpoint.gs);
+  (* Compatibility: accepted against its own model, rejected against a
+     differently named one. *)
+  Mc.Checkpoint.check_compatible cp' model;
+  Alcotest.(check bool) "wrong model name rejected" true
+    (try
+       Mc.Checkpoint.check_compatible
+         { cp' with Mc.Checkpoint.model_name = "other" }
+         model;
+       false
+     with Mc.Checkpoint.Corrupt _ -> true)
+
+let test_checkpoint_corruption () =
+  let model = chain_model () in
+  let man = Mc.Model.man model in
+  let path = temp_path () in
+  Alcotest.(check bool) "absent file loads as None" true
+    (Mc.Checkpoint.load_opt man path = None);
+  let l0 = Ici.Clist.of_list man (Mc.Model.property model) in
+  Mc.Checkpoint.save man path
+    {
+      Mc.Checkpoint.model_name = model.Mc.Model.name;
+      nvars = Bdd.num_vars man;
+      iterations = 2;
+      cfg = Ici.Policy.default;
+      termination = `Exact_equal;
+      current = l0;
+      gs = [ l0 ];
+    };
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  cleanup path;
+  let corrupt_raises label contents =
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc contents);
+    let got =
+      try
+        ignore (Mc.Checkpoint.load man path);
+        false
+      with Mc.Checkpoint.Corrupt _ -> true
+    in
+    cleanup path;
+    Alcotest.(check bool) label true got
+  in
+  let body =
+    let i = String.index text '\n' + 1 in
+    String.sub text i (String.length text - i)
+  in
+  corrupt_raises "empty file" "";
+  corrupt_raises "bad magic" ("not-a-checkpoint 1\n" ^ body);
+  corrupt_raises "unknown version" ("icv-checkpoint 99\n" ^ body);
+  corrupt_raises "truncated body"
+    (String.sub text 0 (String.length text / 2));
+  (* Drop the trailing end marker: the missing-tail case a plain
+     [input_line] loop would silently accept. *)
+  let no_end =
+    let marker = "\nend\n" in
+    let n = String.length text - String.length marker in
+    String.sub text 0 n
+  in
+  corrupt_raises "missing end marker" no_end
+
+(* --- fault-injected kill + checkpoint resume ------------------------ *)
+
+let test_kill_and_resume () =
+  (* Cold run: baseline iteration count and node cost. *)
+  let cold = chain_model () in
+  let man_cold = Mc.Model.man cold in
+  let before = Bdd.created_nodes man_cold in
+  let r_cold = run_xici cold in
+  Alcotest.(check bool) "cold run proves" true (Mc.Report.is_proved r_cold);
+  let cold_iters = r_cold.Mc.Report.iterations in
+  Alcotest.(check bool) "fixpoint is nontrivial" true (cold_iters >= 3);
+  let cost = Bdd.created_nodes man_cold - before in
+  (* Same model, fresh manager: inject a fault halfway through the
+     node-creation budget the cold run needed, checkpointing every
+     iteration. *)
+  let victim = chain_model () in
+  let man = Mc.Model.man victim in
+  let path = temp_path () in
+  let kill_at = Bdd.created_nodes man + (cost / 2) in
+  Bdd.set_fault_hook man
+    (Some
+       (fun m ->
+         if Bdd.created_nodes m >= kill_at then
+           raise (Mc.Limits.Exceeded "injected fault")));
+  let r_killed = run_xici ~checkpoint_path:path victim in
+  Bdd.set_fault_hook man None;
+  (match r_killed.Mc.Report.status with
+  | Mc.Report.Exceeded why ->
+    Alcotest.(check string) "killed by the injected fault" "injected fault"
+      why
+  | Mc.Report.Proved | Mc.Report.Violated _ ->
+    Alcotest.fail "fault injection did not kill the run");
+  (* Resume from the snapshot: the same property is proved with
+     strictly fewer post-resume iterations than the cold run needed. *)
+  let cp = Mc.Checkpoint.load man path in
+  cleanup path;
+  Alcotest.(check bool) "checkpoint is mid-fixpoint" true
+    (cp.Mc.Checkpoint.iterations >= 1
+    && cp.Mc.Checkpoint.iterations < cold_iters);
+  let r = run_xici ~resume_from:cp victim in
+  Alcotest.(check bool) "resumed run proves" true (Mc.Report.is_proved r);
+  Alcotest.(check int) "resume preserves the total iteration count"
+    cold_iters r.Mc.Report.iterations;
+  let post_resume = r.Mc.Report.iterations - cp.Mc.Checkpoint.iterations in
+  Alcotest.(check bool) "strictly fewer post-resume iterations" true
+    (post_resume >= 0 && post_resume < cold_iters)
+
+(* --- resilient driver ----------------------------------------------- *)
+
+let test_resilient_first_try () =
+  let model = chain_model () in
+  let outcome = Mc.Resilient.run ~fallback:[ Mc.Runner.Xici ] model in
+  Alcotest.(check bool) "proved" true
+    (Mc.Report.is_proved outcome.Mc.Resilient.final);
+  Alcotest.(check int) "single attempt" 1
+    (List.length outcome.Mc.Resilient.attempts)
+
+let test_escalating_budget_recovery () =
+  let cold = chain_model () in
+  let man_cold = Mc.Model.man cold in
+  let before = Bdd.created_nodes man_cold in
+  let r_cold = run_xici cold in
+  Alcotest.(check bool) "cold run proves" true (Mc.Report.is_proved r_cold);
+  let cost = Bdd.created_nodes man_cold - before in
+  (* Under-budget the first attempt to a quarter of the real cost; the
+     driver must escalate (and resume from the checkpoint) to a proof. *)
+  let model = chain_model () in
+  let path = temp_path () in
+  let outcome =
+    Mc.Resilient.run ~retries:8 ~budget_escalation:2.0
+      ~max_created_nodes:(max 1 (cost / 4))
+      ~fallback:[ Mc.Runner.Xici ] ~checkpoint:path model
+  in
+  cleanup path;
+  Alcotest.(check bool) "recovered to proved" true
+    (Mc.Report.is_proved outcome.Mc.Resilient.final);
+  let attempts = outcome.Mc.Resilient.attempts in
+  Alcotest.(check bool) "took more than one attempt" true
+    (List.length attempts >= 2);
+  (match attempts with
+  | first :: _ ->
+    Alcotest.(check bool) "first attempt exceeded its budget" true
+      (is_exceeded first.Mc.Resilient.report)
+  | [] -> Alcotest.fail "no attempts recorded");
+  let budgets =
+    List.filter_map (fun a -> a.Mc.Resilient.max_created_nodes) attempts
+  in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "budgets strictly escalate" true (increasing budgets);
+  Alcotest.(check bool) "a retry resumed from the checkpoint" true
+    (List.exists (fun a -> a.Mc.Resilient.resumed_at <> None) attempts)
+
+let test_portfolio_fallback () =
+  let model = chain_model () in
+  let man = Mc.Model.man model in
+  (* One-shot fault: kills XICI's first attempt, disarms itself, so the
+     Forward fallback runs clean. *)
+  let armed = ref true in
+  Bdd.set_fault_hook man
+    (Some
+       (fun _ ->
+         if !armed then begin
+           armed := false;
+           raise (Mc.Limits.Exceeded "injected fault")
+         end));
+  let outcome =
+    Mc.Resilient.run ~retries:1
+      ~fallback:[ Mc.Runner.Xici; Mc.Runner.Forward ]
+      model
+  in
+  Bdd.set_fault_hook man None;
+  Alcotest.(check bool) "fault fired" true (not !armed);
+  (match outcome.Mc.Resilient.attempts with
+  | [ a1; a2 ] ->
+    Alcotest.(check bool) "XICI attempt exceeded" true
+      (a1.Mc.Resilient.meth = Mc.Runner.Xici
+      && is_exceeded a1.Mc.Resilient.report);
+    Alcotest.(check bool) "Forward fallback proves" true
+      (a2.Mc.Resilient.meth = Mc.Runner.Forward
+      && Mc.Report.is_proved a2.Mc.Resilient.report)
+  | attempts ->
+    Alcotest.fail
+      (Printf.sprintf "expected exactly two attempts, got %d"
+         (List.length attempts)));
+  Alcotest.(check bool) "outcome proved via fallback" true
+    (Mc.Report.is_proved outcome.Mc.Resilient.final)
+
+let test_node_budget_fault_caught () =
+  (* A Node_budget_exhausted escaping a method (fault hook firing
+     outside any with_node_budget region) must be converted into an
+     Exceeded attempt, not kill the job. *)
+  let model = chain_model () in
+  let man = Mc.Model.man model in
+  let armed = ref true in
+  Bdd.set_fault_hook man
+    (Some
+       (fun _ ->
+         if !armed then begin
+           armed := false;
+           raise Bdd.Node_budget_exhausted
+         end));
+  let outcome =
+    Mc.Resilient.run ~retries:1
+      ~fallback:[ Mc.Runner.Xici; Mc.Runner.Forward ]
+      model
+  in
+  Bdd.set_fault_hook man None;
+  Alcotest.(check bool) "fault fired" true (not !armed);
+  Alcotest.(check bool) "outcome proved despite the fault" true
+    (Mc.Report.is_proved outcome.Mc.Resilient.final);
+  match outcome.Mc.Resilient.attempts with
+  | a1 :: _ ->
+    Alcotest.(check bool) "first attempt recorded as exceeded" true
+      (is_exceeded a1.Mc.Resilient.report)
+  | [] -> Alcotest.fail "no attempts recorded"
+
+let test_resilient_invalid_args () =
+  let model = chain_model () in
+  let rejects label f =
+    Alcotest.(check bool) label true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  rejects "empty portfolio" (fun () -> Mc.Resilient.run ~fallback:[] model);
+  rejects "retries < 1" (fun () -> Mc.Resilient.run ~retries:0 model);
+  rejects "escalation < 1" (fun () ->
+      Mc.Resilient.run ~budget_escalation:0.5 model)
+
+let () =
+  Alcotest.run "resilient"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "monotonic non-decreasing" `Quick test_monotonic;
+          Alcotest.test_case "limits elapsed" `Quick test_limits_elapsed;
+        ] );
+      ( "limits",
+        [
+          Alcotest.test_case "with_guard chains and restores" `Quick
+            test_with_guard_restores;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "save/load roundtrip" `Quick
+            test_checkpoint_roundtrip;
+          Alcotest.test_case "corruption detection" `Quick
+            test_checkpoint_corruption;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "fault kill + checkpoint resume" `Quick
+            test_kill_and_resume;
+          Alcotest.test_case "clean first try" `Quick test_resilient_first_try;
+          Alcotest.test_case "escalating budgets recover" `Quick
+            test_escalating_budget_recovery;
+          Alcotest.test_case "portfolio falls back" `Quick
+            test_portfolio_fallback;
+          Alcotest.test_case "node-budget fault caught" `Quick
+            test_node_budget_fault_caught;
+          Alcotest.test_case "invalid arguments rejected" `Quick
+            test_resilient_invalid_args;
+        ] );
+    ]
