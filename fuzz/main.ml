@@ -1,0 +1,152 @@
+(* fuzz: the differential-fuzzing harness.
+
+   Three modes, in priority order:
+
+     fuzz --replay TARGET:SEED[:COUNT]   re-run one batch
+     fuzz --corpus FILE                  re-run every batch in a corpus file
+     fuzz --minutes N [--seed S]         timed round-robin fuzzing
+
+   Every failure is printed as a `FAIL <target> <seed> <count>` corpus
+   line followed by the shrunk counterexamples, and the same report is
+   written to --out so CI can upload it as an artifact.  Exit status is
+   1 when any batch failed, 2 on usage errors. *)
+
+open Cmdliner
+
+let parse_targets spec =
+  List.map
+    (fun s ->
+      match Fuzz.Driver.target_of_string (String.trim s) with
+      | Some t -> t
+      | None -> failwith (Printf.sprintf "unknown fuzz target %S" s))
+    (String.split_on_char ',' spec)
+
+let parse_replay spec =
+  let bad () =
+    failwith (Printf.sprintf "bad --replay spec %S (TARGET:SEED[:COUNT])" spec)
+  in
+  let int s = match int_of_string_opt s with Some n -> n | None -> bad () in
+  match String.split_on_char ':' spec with
+  | [ target; seed ] | [ target; seed; "" ] ->
+    { Fuzz.Corpus.target; seed = int seed; count = 1 }
+  | [ target; seed; count ] ->
+    { Fuzz.Corpus.target; seed = int seed; count = int count }
+  | _ -> bad ()
+
+let write_report path failures =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter
+        (fun f -> output_string oc (Fuzz.Driver.pp_failure f ^ "\n"))
+        failures)
+
+let finish ~out failures =
+  if failures = [] then begin
+    print_endline "no disagreements";
+    0
+  end
+  else begin
+    List.iter (fun f -> print_endline (Fuzz.Driver.pp_failure f)) failures;
+    write_report out failures;
+    Printf.printf "%d failing batch(es); report written to %s\n"
+      (List.length failures) out;
+    1
+  end
+
+let run_checked minutes seed batch targets_spec corpus replay out quiet =
+  let log = if quiet then ignore else print_endline in
+  match (replay, corpus) with
+  | Some spec, _ ->
+    let entry = parse_replay spec in
+    log (Printf.sprintf "replaying %s" (Fuzz.Corpus.line entry));
+    let failures =
+      match Fuzz.Driver.run_entry entry with
+      | Ok () -> []
+      | Error f -> [ f ]
+    in
+    finish ~out failures
+  | None, Some path ->
+    let entries = Fuzz.Corpus.load path in
+    log (Printf.sprintf "replaying %d corpus batch(es) from %s"
+           (List.length entries) path);
+    finish ~out (Fuzz.Driver.run_corpus ~log entries)
+  | None, None ->
+    let targets = parse_targets targets_spec in
+    let seed =
+      match seed with
+      | Some s -> s
+      | None -> int_of_float (Unix.time ()) land 0x3FFFFFFF
+    in
+    (* Always print the root seed: it is the whole run's replay key. *)
+    Printf.printf "fuzzing %s for %.3g minute(s), root seed %d, batch %d\n%!"
+      targets_spec minutes seed batch;
+    let summary = Fuzz.Driver.run_timed ~targets ~log ~minutes ~seed ~batch () in
+    Printf.printf
+      "ran %d batch(es), %d case(s), %d method configs per diff case\n"
+      summary.Fuzz.Driver.batches summary.Fuzz.Driver.cases
+      Fuzz.Oracle.configs_per_spec;
+    finish ~out summary.Fuzz.Driver.failures
+
+let run minutes seed batch targets corpus replay out quiet =
+  try run_checked minutes seed batch targets corpus replay out quiet with
+  | Failure msg | Sys_error msg | Invalid_argument msg ->
+    Format.eprintf "fuzz: %s@." msg;
+    2
+
+let () =
+  let minutes =
+    Arg.(
+      value & opt float 1.0
+      & info [ "minutes" ] ~doc:"Wall-clock fuzzing budget in minutes.")
+  in
+  let seed =
+    Arg.(
+      value & opt (some int) None
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Root seed; per-batch seeds derive from it deterministically. \
+             Defaults to the current time, printed for replay.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 5
+      & info [ "batch" ] ~doc:"QCheck2 cases per batch.")
+  in
+  let targets =
+    Arg.(
+      value & opt string "diff,metamorph,taut,bddops"
+      & info [ "targets" ] ~docv:"T1,T2,..."
+          ~doc:"Comma-separated targets: diff, metamorph, taut, bddops.")
+  in
+  let corpus =
+    Arg.(
+      value & opt (some string) None
+      & info [ "corpus" ] ~docv:"FILE"
+          ~doc:"Replay every batch in a seed-corpus file instead of fuzzing.")
+  in
+  let replay =
+    Arg.(
+      value & opt (some string) None
+      & info [ "replay" ] ~docv:"TARGET:SEED[:COUNT]"
+          ~doc:"Replay a single batch (as printed in a FAIL line).")
+  in
+  let out =
+    Arg.(
+      value & opt string "fuzz-failures.txt"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Failure report for CI artifact upload.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No per-batch progress.")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "fuzz"
+         ~doc:"Differential fuzzing of the verification methods")
+      Term.(
+        const run $ minutes $ seed $ batch $ targets $ corpus $ replay $ out
+        $ quiet)
+  in
+  exit (Cmd.eval' cmd)

@@ -1,0 +1,34 @@
+(* The seed corpus: one line per replayable batch.
+
+     <target> <seed> <count>
+
+   Blank lines and lines starting with '#' are comments.  A failure
+   printed by the driver is exactly such a line, so triage is: paste the
+   line into the corpus (or pass it to --replay) and re-run. *)
+
+type entry = { target : string; seed : int; count : int }
+
+let line e = Printf.sprintf "%s %d %d" e.target e.seed e.count
+
+let parse_line s =
+  let s = String.trim s in
+  if s = "" || s.[0] = '#' then None
+  else
+    match String.split_on_char ' ' s |> List.filter (fun w -> w <> "") with
+    | [ target; seed; count ] -> (
+      match (int_of_string_opt seed, int_of_string_opt count) with
+      | Some seed, Some count when count > 0 -> Some { target; seed; count }
+      | _ -> invalid_arg ("malformed corpus line: " ^ s))
+    | _ -> invalid_arg ("malformed corpus line: " ^ s)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | s -> go (match parse_line s with Some e -> e :: acc | None -> acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])

@@ -1,0 +1,15 @@
+(** Seed-corpus file format: one [<target> <seed> <count>] line per
+    replayable batch; blanks and [#] comments ignored.  Failure lines
+    printed by {!Driver} are in exactly this format. *)
+
+type entry = { target : string; seed : int; count : int }
+
+val line : entry -> string
+(** Render an entry in corpus format. *)
+
+val parse_line : string -> entry option
+(** [None] for blank/comment lines; raises [Invalid_argument] on a
+    malformed line. *)
+
+val load : string -> entry list
+(** Parse a corpus file. *)

@@ -1,0 +1,113 @@
+(* Random boolean-expression ASTs with a reference evaluator, so BDD
+   results can be checked against brute-force truth tables.  Promoted
+   from test/testutil.ml so the unit tests and the fuzzer share one
+   generator (the test library re-exports this module). *)
+
+type expr =
+  | T
+  | F
+  | V of int
+  | Not of expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Xor of expr * expr
+  | Iff of expr * expr
+  | Ite of expr * expr * expr
+
+type t = expr
+
+let rec eval_expr env = function
+  | T -> true
+  | F -> false
+  | V i -> env.(i)
+  | Not e -> not (eval_expr env e)
+  | And (a, b) -> eval_expr env a && eval_expr env b
+  | Or (a, b) -> eval_expr env a || eval_expr env b
+  | Xor (a, b) -> eval_expr env a <> eval_expr env b
+  | Iff (a, b) -> eval_expr env a = eval_expr env b
+  | Ite (c, a, b) -> if eval_expr env c then eval_expr env a else eval_expr env b
+
+let rec build_bdd man vars = function
+  | T -> Bdd.tru man
+  | F -> Bdd.fls man
+  | V i -> Bdd.var man vars.(i)
+  | Not e -> Bdd.bnot man (build_bdd man vars e)
+  | And (a, b) -> Bdd.band man (build_bdd man vars a) (build_bdd man vars b)
+  | Or (a, b) -> Bdd.bor man (build_bdd man vars a) (build_bdd man vars b)
+  | Xor (a, b) -> Bdd.bxor man (build_bdd man vars a) (build_bdd man vars b)
+  | Iff (a, b) -> Bdd.biff man (build_bdd man vars a) (build_bdd man vars b)
+  | Ite (c, a, b) ->
+    Bdd.ite man (build_bdd man vars c) (build_bdd man vars a)
+      (build_bdd man vars b)
+
+let rec pp_expr fmt = function
+  | T -> Format.fprintf fmt "T"
+  | F -> Format.fprintf fmt "F"
+  | V i -> Format.fprintf fmt "x%d" i
+  | Not e -> Format.fprintf fmt "~%a" pp_expr e
+  | And (a, b) -> Format.fprintf fmt "(%a & %a)" pp_expr a pp_expr b
+  | Or (a, b) -> Format.fprintf fmt "(%a | %a)" pp_expr a pp_expr b
+  | Xor (a, b) -> Format.fprintf fmt "(%a ^ %a)" pp_expr a pp_expr b
+  | Iff (a, b) -> Format.fprintf fmt "(%a = %a)" pp_expr a pp_expr b
+  | Ite (c, a, b) ->
+    Format.fprintf fmt "(%a ? %a : %a)" pp_expr c pp_expr a pp_expr b
+
+let to_string e = Format.asprintf "%a" pp_expr e
+
+(* Remap variable indices: [map_vars f e] replaces every [V i] by
+   [V (f i)].  Used by the variable-renaming metamorphic transform. *)
+let rec map_vars f = function
+  | (T | F) as e -> e
+  | V i -> V (f i)
+  | Not e -> Not (map_vars f e)
+  | And (a, b) -> And (map_vars f a, map_vars f b)
+  | Or (a, b) -> Or (map_vars f a, map_vars f b)
+  | Xor (a, b) -> Xor (map_vars f a, map_vars f b)
+  | Iff (a, b) -> Iff (map_vars f a, map_vars f b)
+  | Ite (c, a, b) -> Ite (map_vars f c, map_vars f a, map_vars f b)
+
+(* QCheck generator for expressions over [nvars] variables. *)
+let gen_expr ~nvars =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      if n <= 0 then
+        oneof [ return T; return F; map (fun i -> V i) (int_bound (nvars - 1)) ]
+      else
+        let sub = self (n / 2) in
+        oneof
+          [
+            map (fun i -> V i) (int_bound (nvars - 1));
+            map (fun e -> Not e) (self (n - 1));
+            map2 (fun a b -> And (a, b)) sub sub;
+            map2 (fun a b -> Or (a, b)) sub sub;
+            map2 (fun a b -> Xor (a, b)) sub sub;
+            map2 (fun a b -> Iff (a, b)) sub sub;
+            map3 (fun c a b -> Ite (c, a, b)) sub sub sub;
+          ])
+
+let arb_expr ~nvars =
+  QCheck2.Gen.map (fun e -> e) (gen_expr ~nvars)
+
+(* Iterate over all assignments to [nvars] variables. *)
+let all_envs nvars =
+  List.init (1 lsl nvars) (fun m ->
+      Array.init nvars (fun i -> (m lsr i) land 1 = 1))
+
+(* Fresh manager with [nvars] variables at levels 0..nvars-1. *)
+let fresh_man nvars =
+  let man = Bdd.create () in
+  let vars = Array.init nvars (fun _ -> Bdd.new_var man) in
+  (man, vars)
+
+(* Extend an environment indexed by expression-variable number to one
+   indexed by level, given the level array. *)
+let env_by_level vars env =
+  let n = Array.fold_left max 0 vars + 1 in
+  let by_level = Array.make n false in
+  Array.iteri (fun i lvl -> by_level.(lvl) <- env.(i)) vars;
+  by_level
+
+let semantically_equal man nvars f e vars =
+  List.for_all
+    (fun env -> Bdd.eval man (env_by_level vars env) f = eval_expr env e)
+    (all_envs nvars)

@@ -1,0 +1,51 @@
+(** Random boolean-expression ASTs with a reference evaluator.
+
+    The single source of the expression generator shared by the unit
+    tests (via [test/testutil.ml], which re-exports this module) and the
+    fuzzing targets: BDD results are checked against brute-force truth
+    tables of the same expressions. *)
+
+type expr =
+  | T
+  | F
+  | V of int
+  | Not of expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Xor of expr * expr
+  | Iff of expr * expr
+  | Ite of expr * expr * expr
+
+type t = expr
+
+val eval_expr : bool array -> expr -> bool
+(** Reference evaluation under an assignment indexed by variable
+    number. *)
+
+val build_bdd : Bdd.man -> int array -> expr -> Bdd.t
+(** Build the BDD, mapping expression variable [i] to level
+    [vars.(i)]. *)
+
+val pp_expr : Format.formatter -> expr -> unit
+val to_string : expr -> string
+
+val map_vars : (int -> int) -> expr -> expr
+(** Remap variable indices (the renaming metamorphic transform). *)
+
+val gen_expr : nvars:int -> expr QCheck2.Gen.t
+(** Sized generator over variables [x0 .. x(nvars-1)], with integrated
+    shrinking. *)
+
+val arb_expr : nvars:int -> expr QCheck2.Gen.t
+
+val all_envs : int -> bool array list
+(** All [2^nvars] assignments. *)
+
+val fresh_man : int -> Bdd.man * int array
+(** Fresh manager with [nvars] variables at levels [0..nvars-1]. *)
+
+val env_by_level : int array -> bool array -> bool array
+(** Re-index an assignment from variable numbers to levels. *)
+
+val semantically_equal : Bdd.man -> int -> Bdd.t -> expr -> int array -> bool
+(** Does the BDD agree with the expression on every assignment? *)

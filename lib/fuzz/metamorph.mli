@@ -1,0 +1,25 @@
+(** Metamorphic properties: verdict-preserving spec transformations.
+
+    Duplicating a good conjunct, permuting the good list and renaming
+    variables all yield machines with provably the same verdict, and a
+    mid-run checkpoint kill + resume must never change an XICI answer.
+    {!check_spec} verifies all of them against the original spec's
+    reference verdict. *)
+
+type transform = Dup_good | Reverse_goods | Rotate_goods | Rename_vars
+
+val all_transforms : transform list
+val transform_name : transform -> string
+
+val apply : transform -> Spec.t -> Spec.t
+
+val rename_vars : Spec.t -> Spec.t
+(** Reverse the state-bit and input-bit declaration orders (an
+    isomorphic machine over a different variable order). *)
+
+type disagreement = Oracle.disagreement = { check : string; detail : string }
+
+val check_spec :
+  ?limits:(Bdd.man -> Mc.Limits.t) -> Spec.t -> disagreement option
+(** [None] when every transform preserves the verdict and checkpoint
+    kill + resume reaches the uninterrupted answer. *)

@@ -1,0 +1,210 @@
+(* Random verification problems of configurable width, with an
+   explicit-state reference verdict.  Generalises the fixed
+   3-state/2-input specs of test/testmachines.ml: the number of state
+   bits, input bits and good conjuncts, the FD-candidate subset and the
+   input constraint are all drawn from a [shape], and the generator
+   mixes in the corner cases (no initial states, a bad state that is
+   unreachable) that exercise vacuous-proof paths. *)
+
+type t = {
+  n_state : int;
+  n_input : int;
+  nexts : Expr.t array; (* over n_state + n_input vars *)
+  constr : Expr.t; (* over n_state + n_input vars *)
+  init : Expr.t; (* over n_state vars *)
+  goods : Expr.t list; (* over n_state vars *)
+  fd : int list; (* state-bit indices offered as FD candidates *)
+}
+
+type shape = {
+  min_state_bits : int;
+  max_state_bits : int;
+  min_input_bits : int;
+  max_input_bits : int;
+  max_goods : int;
+  fd_subsets : bool;
+  constrain_inputs : bool;
+  corners : bool;
+}
+
+let default_shape =
+  {
+    min_state_bits = 2;
+    max_state_bits = 4;
+    min_input_bits = 1;
+    max_input_bits = 3;
+    max_goods = 3;
+    fd_subsets = true;
+    constrain_inputs = true;
+    corners = true;
+  }
+
+(* Everything the explicit reference enumerates is exponential in these,
+   so refuse shapes it could not brute-force. *)
+let check_shape s =
+  if
+    s.min_state_bits < 1 || s.max_state_bits > 8 || s.min_input_bits < 0
+    || s.max_input_bits > 6
+    || s.min_state_bits > s.max_state_bits
+    || s.min_input_bits > s.max_input_bits
+    || s.max_goods < 1
+  then invalid_arg "Fuzz.Spec: shape out of the brute-forceable range"
+
+(* The all-zero / all-one state cubes over [n] state bits. *)
+let all_zero n =
+  List.fold_left
+    (fun acc i -> Expr.And (acc, Expr.Not (Expr.V i)))
+    (Expr.Not (Expr.V 0))
+    (List.init (n - 1) (fun i -> i + 1))
+
+let all_one n =
+  List.fold_left
+    (fun acc i -> Expr.And (acc, Expr.V i))
+    (Expr.V 0)
+    (List.init (n - 1) (fun i -> i + 1))
+
+(* Corner: the only bad state (all ones) is unreachable -- identity
+   transitions keep the machine in its all-zero initial state, so the
+   property holds but only a traversal that actually converges can tell. *)
+let unreachable_bad ~n_state ~n_input =
+  {
+    n_state;
+    n_input;
+    nexts = Array.init n_state (fun i -> Expr.V i);
+    constr = Expr.T;
+    init = all_zero n_state;
+    goods = [ Expr.Not (all_one n_state) ];
+    fd = [];
+  }
+
+let gen_base shape =
+  let open QCheck2.Gen in
+  int_range shape.min_state_bits shape.max_state_bits >>= fun n_state ->
+  int_range shape.min_input_bits shape.max_input_bits >>= fun n_input ->
+  let e = Expr.gen_expr ~nvars:(n_state + n_input) in
+  let es = Expr.gen_expr ~nvars:n_state in
+  let gen_nexts = array_repeat n_state e in
+  let gen_constr = if shape.constrain_inputs then e else return Expr.T in
+  let gen_goods = list_size (int_range 1 shape.max_goods) es in
+  let gen_fd =
+    if shape.fd_subsets then
+      list_repeat n_state bool >|= fun keeps ->
+      List.filteri (fun i _ -> List.nth keeps i) (List.init n_state Fun.id)
+    else return (List.init n_state Fun.id)
+  in
+  gen_nexts >>= fun nexts ->
+  gen_constr >>= fun constr ->
+  es >>= fun init ->
+  gen_goods >>= fun goods ->
+  gen_fd >|= fun fd -> { n_state; n_input; nexts; constr; init; goods; fd }
+
+let gen ?(shape = default_shape) () =
+  check_shape shape;
+  let open QCheck2.Gen in
+  if not shape.corners then gen_base shape
+  else
+    frequency
+      [
+        (13, gen_base shape);
+        (* Vacuous init: no initial states, everything is (vacuously)
+           proved, whatever the rest of the machine does. *)
+        (2, gen_base shape >|= fun s -> { s with init = Expr.F });
+        ( 1,
+          int_range shape.min_state_bits shape.max_state_bits >>= fun n_state ->
+          int_range shape.min_input_bits shape.max_input_bits >|= fun n_input ->
+          unreachable_bad ~n_state ~n_input );
+      ]
+
+let to_string s =
+  Format.asprintf "state=%d input=%d fd=[%s] nexts=[%s] constr=%a init=%a goods=[%s]"
+    s.n_state s.n_input
+    (String.concat ";" (List.map string_of_int s.fd))
+    (String.concat ";"
+       (Array.to_list (Array.map Expr.to_string s.nexts)))
+    Expr.pp_expr s.constr Expr.pp_expr s.init
+    (String.concat ";" (List.map Expr.to_string s.goods))
+
+let print_spec = to_string
+
+(* Symbolic model.  State bits first, then inputs; expression variable i
+   maps to state bit i (current level) for i < n_state, else input. *)
+let build_model spec =
+  let sp = Fsm.Space.create () in
+  let bits = Array.init spec.n_state (fun _ -> Fsm.Space.state_bit sp) in
+  let inputs = Array.init spec.n_input (fun _ -> Fsm.Space.input_bit sp) in
+  let vars =
+    Array.append (Array.map (fun (b : Fsm.Space.bit) -> b.cur) bits) inputs
+  in
+  let man = Fsm.Space.man sp in
+  let assigns =
+    List.init spec.n_state (fun i ->
+        (bits.(i), Expr.build_bdd man vars spec.nexts.(i)))
+  in
+  let input_constraint = Expr.build_bdd man vars spec.constr in
+  let trans = Fsm.Trans.make ~input_constraint sp ~assigns in
+  let svars = Array.sub vars 0 spec.n_state in
+  let init = Expr.build_bdd man svars spec.init in
+  let good = List.map (Expr.build_bdd man svars) spec.goods in
+  let fd_candidates =
+    List.map (fun i -> (bits.(i) : Fsm.Space.bit).cur) spec.fd
+  in
+  Mc.Model.make ~fd_candidates ~name:"fuzz" ~space:sp ~trans ~init ~good ()
+
+(* --- explicit-state reference ---------------------------------------- *)
+
+let succs spec s =
+  let out = ref [] in
+  for inp = 0 to (1 lsl spec.n_input) - 1 do
+    let env =
+      Array.init (spec.n_state + spec.n_input) (fun i ->
+          if i < spec.n_state then (s lsr i) land 1 = 1
+          else (inp lsr (i - spec.n_state)) land 1 = 1)
+    in
+    if Expr.eval_expr env spec.constr then begin
+      let s' = ref 0 in
+      for b = 0 to spec.n_state - 1 do
+        if Expr.eval_expr env spec.nexts.(b) then s' := !s' lor (1 lsl b)
+      done;
+      if not (List.mem !s' !out) then out := !s' :: !out
+    end
+  done;
+  !out
+
+let senv spec s = Array.init spec.n_state (fun i -> (s lsr i) land 1 = 1)
+
+let initial_states spec =
+  List.filter
+    (fun s -> Expr.eval_expr (senv spec s) spec.init)
+    (List.init (1 lsl spec.n_state) Fun.id)
+
+(* True iff every reachable state is good. *)
+let reference_verdict spec =
+  let good s = List.for_all (Expr.eval_expr (senv spec s)) spec.goods in
+  let seen = Hashtbl.create 64 in
+  let rec bfs = function
+    | [] -> true
+    | s :: rest ->
+      if Hashtbl.mem seen s then bfs rest
+      else if not (good s) then false
+      else begin
+        Hashtbl.replace seen s ();
+        bfs (succs spec s @ rest)
+      end
+  in
+  bfs (initial_states spec)
+
+(* Number of reachable states (only meaningful when the property holds
+   everywhere reachable, since verdict checkers stop at the first
+   violation). *)
+let reference_reachable_count spec =
+  let seen = Hashtbl.create 64 in
+  let rec bfs = function
+    | [] -> Hashtbl.length seen
+    | s :: rest ->
+      if Hashtbl.mem seen s then bfs rest
+      else begin
+        Hashtbl.replace seen s ();
+        bfs (succs spec s @ rest)
+      end
+  in
+  bfs (initial_states spec)

@@ -1,0 +1,57 @@
+(** Random verification problems of configurable width with an
+    explicit-state reference verdict -- the differential-fuzzing
+    generalisation of [test/testmachines.ml].
+
+    A spec describes a machine over [n_state] state bits and [n_input]
+    input bits as expression ASTs; [build_model] turns it into a
+    symbolic {!Mc.Model.t} and the [reference_*] functions brute-force
+    the answer by concrete enumeration, independent of every BDD
+    operation. *)
+
+type t = {
+  n_state : int;
+  n_input : int;
+  nexts : Expr.t array;  (** one per state bit, over state + input vars *)
+  constr : Expr.t;  (** input constraint, over state + input vars *)
+  init : Expr.t;  (** over state vars *)
+  goods : Expr.t list;  (** property conjuncts, over state vars *)
+  fd : int list;  (** state-bit indices offered as FD candidates *)
+}
+
+type shape = {
+  min_state_bits : int;
+  max_state_bits : int;
+  min_input_bits : int;
+  max_input_bits : int;
+  max_goods : int;
+  fd_subsets : bool;  (** offer a random subset (else all bits) to FD *)
+  constrain_inputs : bool;  (** random input constraint (else TRUE) *)
+  corners : bool;  (** mix in vacuous-init / unreachable-bad corners *)
+}
+
+val default_shape : shape
+(** 2-4 state bits, 1-3 input bits, 1-3 good conjuncts, FD subsets,
+    input constraints and corner cases on. *)
+
+val unreachable_bad : n_state:int -> n_input:int -> t
+(** The deterministic corner where the only bad state is unreachable. *)
+
+val gen : ?shape:shape -> unit -> t QCheck2.Gen.t
+(** Generator with integrated shrinking.  Raises [Invalid_argument] on
+    shapes beyond the brute-forceable range (more than 8 state or 6
+    input bits). *)
+
+val to_string : t -> string
+
+val print_spec : t -> string
+(** Alias of {!to_string} (the [QCheck2] printer convention). *)
+
+val build_model : t -> Mc.Model.t
+(** Fresh space/manager per call: state bits first (interleaved
+    current/next), then inputs. *)
+
+val reference_verdict : t -> bool
+(** Explicit-state reference: true iff every reachable state is good. *)
+
+val reference_reachable_count : t -> int
+(** Reachable-state count per the explicit reference. *)

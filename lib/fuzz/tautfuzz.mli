@@ -1,0 +1,20 @@
+(** Tautology-checker and BDD-operator fuzz targets.
+
+    Both targets compare against brute-force truth-table evaluation of
+    the generating expressions — a reference that never touches a BDD.
+    {!check_tautology} covers [Ici.Tautology.check] under all three
+    variable-choice heuristics x memo x simplify and the
+    fuel-exhaustion-retry path; {!check_ops} covers the core BDD
+    operators (implies, equal, bounded conjunction, Restrict, Constrain,
+    multi-restrict, quantification, relational product). *)
+
+val nvars : int
+
+val gen_list : Expr.t list QCheck2.Gen.t
+val gen_pair : (Expr.t * Expr.t) QCheck2.Gen.t
+
+val print_list : Expr.t list -> string
+val print_pair : Expr.t * Expr.t -> string
+
+val check_tautology : Expr.t list -> (unit, string) result
+val check_ops : Expr.t * Expr.t -> (unit, string) result

@@ -627,6 +627,48 @@ let prop_serialize e =
   Sys.remove path;
   ok
 
+let prop_serialize_structural (ea, eb) =
+  (* The structural half of the round trip, beyond semantics: reading
+     into the SAME manager reproduces the original nodes (canonicity
+     through the unique table), a fresh manager reproduces the same
+     sizes, and re-serializing from the fresh manager is byte-identical
+     (the dense bottom-up renumbering is manager- and GC-independent). *)
+  let man, vars = Testutil.fresh_man nvars in
+  let f = Testutil.build_bdd man vars ea in
+  let g = Testutil.build_bdd man vars eb in
+  let read_file p =
+    let ic = open_in_bin p in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let path = Filename.temp_file "bdd" ".txt" in
+  let path2 = Filename.temp_file "bdd" ".txt" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove path;
+      Sys.remove path2)
+    (fun () ->
+      Bdd.Serialize.to_file man path [ f; g ];
+      let same_manager =
+        match Bdd.Serialize.of_file man path with
+        | [ f2; g2 ] -> Bdd.equal f f2 && Bdd.equal g g2
+        | _ -> false
+      in
+      let man2 = Bdd.create () in
+      let _ = List.init nvars (fun _ -> Bdd.new_var man2) in
+      match Bdd.Serialize.of_file man2 path with
+      | [ f2; g2 ] ->
+        let fresh_manager =
+          Bdd.size f2 = Bdd.size f
+          && Bdd.size g2 = Bdd.size g
+          && Testutil.semantically_equal man2 nvars f2 ea vars
+          && Testutil.semantically_equal man2 nvars g2 eb vars
+        in
+        Bdd.Serialize.to_file man2 path2 [ f2; g2 ];
+        same_manager && fresh_manager && read_file path = read_file path2
+      | _ -> false)
+
 let prop_implies (a, b) =
   let man, vars = Testutil.fresh_man nvars in
   let f = Testutil.build_bdd man vars a in
@@ -699,5 +741,7 @@ let () =
           qtest "minterm enumeration" prop_minterms;
           qtest ~count:150 "transfer preserves semantics" prop_transfer_semantics;
           qtest ~count:150 "serialization semantics" prop_serialize;
+          qtest2 ~count:150 "serialization structural round trip"
+            prop_serialize_structural;
         ] );
     ]

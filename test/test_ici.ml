@@ -83,6 +83,55 @@ let prop_improve_no_simplify es =
     { Ici.Policy.default with simplifier = Ici.Policy.No_simplify }
     es
 
+let all_configs =
+  (* The full simplifier x evaluation cross product, at the default
+     threshold and with the pair-step budget both on and off. *)
+  List.concat_map
+    (fun simplifier ->
+      List.concat_map
+        (fun evaluation ->
+          [
+            { Ici.Policy.default with simplifier; evaluation };
+            { Ici.Policy.default with simplifier; evaluation;
+              pair_step_factor = None };
+          ])
+        [ Ici.Policy.Greedy; Ici.Policy.Optimal_cover;
+          Ici.Policy.No_evaluation ])
+    [ Ici.Policy.Restrict; Ici.Policy.Constrain; Ici.Policy.Multi_restrict;
+      Ici.Policy.No_simplify ]
+
+let prop_improve_all_configs es =
+  (* Soundness across the whole configuration space: the implied
+     conjunction never changes. *)
+  List.for_all (fun cfg -> improve_preserves cfg es) all_configs
+
+let prop_greedy_size_guarantee es =
+  (* The per-step acceptance test (Figure 1) bounds each accepted
+     replacement: size(xi /\ xj) <= t * shared_size(xi, xj), and the
+     pair's shared size is at most the whole list's.  So across k
+     accepted steps the total shared size grows by at most (1 + t) per
+     step (the new conjunct adds at most t * before nodes on top of
+     what is already shared):
+
+       shared_size(after) <= shared_size(before) * (1 + t)^k
+
+     with k = length(before) - length(after).  A violation means the
+     greedy loop accepted a pair the threshold should have rejected. *)
+  let man, _, xs = build_all es in
+  List.for_all
+    (fun grow_threshold ->
+      let before = Ici.Clist.of_list man xs in
+      let after =
+        Ici.Policy.greedy_evaluate man ~grow_threshold before
+      in
+      let steps = Ici.Clist.length before - Ici.Clist.length after in
+      steps >= 0
+      && float_of_int (Ici.Clist.shared_size after)
+         <= (float_of_int (Ici.Clist.shared_size before)
+             *. ((1.0 +. grow_threshold) ** float_of_int steps))
+            +. 1e-9)
+    [ 0.5; 1.0; 1.5; 3.0 ]
+
 let prop_simplify_pass es =
   let man, _, xs = build_all es in
   let before = Bdd.conj man xs in
@@ -258,6 +307,10 @@ let () =
             prop_improve_no_simplify;
           qtest "improve preserves conjunction (multi-restrict)"
             prop_improve_multi;
+          qtest ~count:100 "improve preserves conjunction (all 24 configs)"
+            prop_improve_all_configs;
+          qtest "greedy evaluation respects the growth bound"
+            prop_greedy_size_guarantee;
           qtest "simplify_pass preserves conjunction" prop_simplify_pass;
           qtest "infinite threshold collapses to one conjunct"
             prop_huge_threshold_collapses;

@@ -27,6 +27,9 @@ let trace_valid model (report : Mc.Report.t) =
     Mc.Trace.validate model.Mc.Model.trans ~init:model.Mc.Model.init
       ~good:(Ici.Clist.of_list man (Mc.Model.property model))
       tr
+    (* ...and independently of any BDD image computation: every step
+       must be realisable by some concrete legal input. *)
+    && Fuzz.Oracle.replay model tr = Ok ()
   | Mc.Report.Proved | Mc.Report.Exceeded _ -> true
 
 let check_method ?(allow_nonconvergence = false) meth spec =
@@ -214,6 +217,61 @@ let test_induction () =
       (Mc.Induction.establishes proved derived)
   | _, None -> Alcotest.fail "expected a derived fixpoint")
 
+let test_concrete_replay_on_models () =
+  (* Every method that finds a planted bug in the library models must
+     report a trace that replays concretely through [Fsm.Trans.step]:
+     starting in an initial state, each step realisable by some legal
+     input, ending in a bad state. *)
+  let limits man =
+    (* The cpu model's forward run needs more node headroom than the
+       random-machine default (same budget as test_models). *)
+    Mc.Limits.start ~max_iterations:60 ~max_created_nodes:4_000_000 man
+  in
+  let cases =
+    [
+      ( "fifo",
+        (fun () ->
+          Models.Typed_fifo.make
+            { Models.Typed_fifo.depth = 3; width = 4; bound = 9; bug = true }),
+        Mc.Runner.all );
+      ( "network",
+        (fun () -> Models.Network.make { Models.Network.procs = 2; bug = true }),
+        [ Mc.Runner.Forward; Mc.Runner.Backward; Mc.Runner.Xici ] );
+      ( "filter",
+        (fun () ->
+          Models.Avg_filter.make
+            { Models.Avg_filter.depth = 2; sample_width = 3; assisted = false;
+              bug = true }),
+        [ Mc.Runner.Forward; Mc.Runner.Xici ] );
+      ( "cpu",
+        (fun () ->
+          Models.Pipeline_cpu.make
+            { Models.Pipeline_cpu.regs = 2; width = 1; assisted = false;
+              bug = true }),
+        [ Mc.Runner.Forward; Mc.Runner.Xici ] );
+      ( "abp",
+        (fun () -> Models.Abp.make { Models.Abp.width = 2; bug = true }),
+        [ Mc.Runner.Forward; Mc.Runner.Backward; Mc.Runner.Xici;
+          Mc.Runner.Idi ] );
+    ]
+  in
+  List.iter
+    (fun (name, make, meths) ->
+      List.iter
+        (fun meth ->
+          let model = make () in
+          let label = name ^ "/" ^ Mc.Runner.name meth in
+          let r = Mc.Runner.run ~limits meth model in
+          match r.Mc.Report.status with
+          | Mc.Report.Violated tr -> (
+            match Fuzz.Oracle.replay model tr with
+            | Ok () -> ()
+            | Error e -> Alcotest.fail (label ^ ": " ^ e))
+          | Mc.Report.Proved | Mc.Report.Exceeded _ ->
+            Alcotest.fail (label ^ " should find the violation"))
+        meths)
+    cases
+
 let test_validate_rejects_bogus () =
   let model = counter_model ~good_limit:2 in
   let man = Mc.Model.man model in
@@ -241,6 +299,8 @@ let () =
           Alcotest.test_case "report formatting" `Quick test_report_strings;
           Alcotest.test_case "trace validation rejects bogus" `Quick
             test_validate_rejects_bogus;
+          Alcotest.test_case "bug-model traces replay concretely" `Quick
+            test_concrete_replay_on_models;
           Alcotest.test_case "inductiveness checker" `Quick test_induction;
         ] );
       ( "agreement with explicit-state reference",

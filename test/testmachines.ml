@@ -1,126 +1,32 @@
 (* Random small verification problems with an explicit-state reference
-   verdict, used to cross-check all five verification methods. *)
+   verdict.  The generator and reference now live in [Fuzz.Spec]; this
+   wrapper pins the historical fixed shape (3 state bits, 2 input bits,
+   all bits offered to FD, no corner-case mixing) so the seeded unit
+   tests keep their original distribution. *)
 
 let n_state = 3
 let n_input = 2
 
-type spec = {
-  nexts : Testutil.expr array; (* over n_state + n_input vars *)
-  constr : Testutil.expr; (* over n_state + n_input vars *)
-  init : Testutil.expr; (* over n_state vars *)
-  goods : Testutil.expr list; (* over n_state vars *)
-}
+type spec = Fuzz.Spec.t
 
-let gen_spec =
-  let open QCheck2.Gen in
-  let e = Testutil.gen_expr ~nvars:(n_state + n_input) in
-  let es = Testutil.gen_expr ~nvars:n_state in
-  map3
-    (fun a (b, c) (d, (i, gs)) ->
-      { nexts = [| a; b; c |]; constr = d; init = i; goods = gs })
-    e (pair e e)
-    (pair e (pair es (list_size (int_range 1 3) es)))
+let shape =
+  {
+    Fuzz.Spec.min_state_bits = n_state;
+    max_state_bits = n_state;
+    min_input_bits = n_input;
+    max_input_bits = n_input;
+    max_goods = 3;
+    fd_subsets = false;
+    constrain_inputs = true;
+    corners = false;
+  }
 
-let print_spec s =
-  Format.asprintf "nexts=[%a;%a;%a] constr=%a init=%a goods=[%s]"
-    Testutil.pp_expr s.nexts.(0) Testutil.pp_expr s.nexts.(1) Testutil.pp_expr
-    s.nexts.(2) Testutil.pp_expr s.constr Testutil.pp_expr s.init
-    (String.concat ";"
-       (List.map (Format.asprintf "%a" Testutil.pp_expr) s.goods))
+let gen_spec = Fuzz.Spec.gen ~shape ()
+let print_spec = Fuzz.Spec.print_spec
 
-(* Symbolic model.  State bits first, then inputs; expression variable i
-   maps to state bit i (current level) for i < n_state, else input. *)
-let build_model ?(fd_all = true) spec =
-  let sp = Fsm.Space.create () in
-  let bits = Array.init n_state (fun _ -> Fsm.Space.state_bit sp) in
-  let inputs = Array.init n_input (fun _ -> Fsm.Space.input_bit sp) in
-  let vars =
-    Array.append (Array.map (fun (b : Fsm.Space.bit) -> b.cur) bits) inputs
-  in
-  let man = Fsm.Space.man sp in
-  let assigns =
-    List.init n_state (fun i ->
-        (bits.(i), Testutil.build_bdd man vars spec.nexts.(i)))
-  in
-  let input_constraint = Testutil.build_bdd man vars spec.constr in
-  let trans = Fsm.Trans.make ~input_constraint sp ~assigns in
-  let svars = Array.sub vars 0 n_state in
-  let init = Testutil.build_bdd man svars spec.init in
-  let good = List.map (Testutil.build_bdd man svars) spec.goods in
-  let fd_candidates =
-    if fd_all then Array.to_list (Array.map (fun (b : Fsm.Space.bit) -> b.cur) bits)
-    else []
-  in
-  Mc.Model.make ~fd_candidates ~name:"random" ~space:sp ~trans ~init ~good ()
+let build_model ?(fd_all = true) (spec : spec) =
+  Fuzz.Spec.build_model
+    (if fd_all then spec else { spec with Fuzz.Spec.fd = [] })
 
-(* Explicit-state reference: true iff every reachable state is good. *)
-let reference_verdict spec =
-  let succs s =
-    let out = ref [] in
-    for inp = 0 to (1 lsl n_input) - 1 do
-      let env =
-        Array.init (n_state + n_input) (fun i ->
-            if i < n_state then (s lsr i) land 1 = 1
-            else (inp lsr (i - n_state)) land 1 = 1)
-      in
-      if Testutil.eval_expr env spec.constr then begin
-        let s' = ref 0 in
-        for b = 0 to n_state - 1 do
-          if Testutil.eval_expr env spec.nexts.(b) then s' := !s' lor (1 lsl b)
-        done;
-        if not (List.mem !s' !out) then out := !s' :: !out
-      end
-    done;
-    !out
-  in
-  let senv s = Array.init n_state (fun i -> (s lsr i) land 1 = 1) in
-  let good s = List.for_all (Testutil.eval_expr (senv s)) spec.goods in
-  let initial =
-    List.filter
-      (fun s -> Testutil.eval_expr (senv s) spec.init)
-      (List.init (1 lsl n_state) Fun.id)
-  in
-  let rec bfs seen = function
-    | [] -> true
-    | s :: rest ->
-      if List.mem s seen then bfs seen rest
-      else if not (good s) then false
-      else bfs (s :: seen) (succs s @ rest)
-  in
-  bfs [] initial
-
-(* Number of reachable states per the explicit reference (only
-   meaningful when the property holds everywhere reachable, since the
-   checker stops at the first violation). *)
-let reference_reachable_count spec =
-  let succs s =
-    let out = ref [] in
-    for inp = 0 to (1 lsl n_input) - 1 do
-      let env =
-        Array.init (n_state + n_input) (fun i ->
-            if i < n_state then (s lsr i) land 1 = 1
-            else (inp lsr (i - n_state)) land 1 = 1)
-      in
-      if Testutil.eval_expr env spec.constr then begin
-        let s' = ref 0 in
-        for b = 0 to n_state - 1 do
-          if Testutil.eval_expr env spec.nexts.(b) then s' := !s' lor (1 lsl b)
-        done;
-        if not (List.mem !s' !out) then out := !s' :: !out
-      end
-    done;
-    !out
-  in
-  let senv s = Array.init n_state (fun i -> (s lsr i) land 1 = 1) in
-  let initial =
-    List.filter
-      (fun s -> Testutil.eval_expr (senv s) spec.init)
-      (List.init (1 lsl n_state) Fun.id)
-  in
-  let rec bfs seen = function
-    | [] -> List.length seen
-    | s :: rest ->
-      if List.mem s seen then bfs seen rest
-      else bfs (s :: seen) (succs s @ rest)
-  in
-  bfs [] initial
+let reference_verdict = Fuzz.Spec.reference_verdict
+let reference_reachable_count = Fuzz.Spec.reference_reachable_count
