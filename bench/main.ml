@@ -26,14 +26,51 @@ let limits_of budgets man =
     ~max_seconds:budgets.max_seconds ~max_iterations:budgets.max_iterations
     man
 
+(* Machine-readable artifacts (--json): each table accumulates one JSON
+   object per row -- the report fields plus a full telemetry snapshot
+   (registry + per-iteration log), reset before every row so snapshots
+   are per-row, not cumulative across the table. *)
+let json_mode = ref false
+let json_rows : Obs.Json.t list ref = ref []
+
+let with_json_artifact file f =
+  if not !json_mode then f ()
+  else begin
+    json_rows := [];
+    Fun.protect
+      ~finally:(fun () ->
+        let oc = open_out file in
+        output_string oc
+          (Obs.Json.to_string (Obs.Json.List (List.rev !json_rows)));
+        output_char oc '\n';
+        close_out oc;
+        Format.printf "  wrote %s (%d rows)@.%!" file
+          (List.length !json_rows))
+      f
+  end
+
 (* A table row: run one method on one model and print it next to the
    paper's reported numbers. *)
 let run_row ?(label = "") budgets ?xici_cfg ?termination meth model ~paper =
+  if !json_mode then Mc.Telemetry.reset ();
   let r =
     Mc.Runner.run ~limits:(limits_of budgets) ?xici_cfg ?termination meth
       model
   in
   Format.printf "  %-10s %a   [paper: %s]@.%!" label Mc.Report.pp_row r paper;
+  (if !json_mode then
+     let row =
+       match Mc.Report.to_json r with
+       | Obs.Json.Obj fields ->
+         Obs.Json.Obj
+           (fields
+           @ [
+               ("label", Obs.Json.String label);
+               ("telemetry", Mc.Telemetry.snapshot_json (Mc.Model.man model));
+             ])
+       | other -> other
+     in
+     json_rows := row :: !json_rows);
   r
 
 let head fmt = Format.printf (fmt ^^ "@.")
@@ -606,7 +643,8 @@ let bechamel_suite () =
 (* ------------------------------------------------------------------ *)
 
 let run tables run_ablations run_bechamel run_checkpoint max_live max_seconds
-    quick =
+    quick json =
+  json_mode := json;
   let budgets =
     if quick then
       { max_live = 400_000; max_seconds = 30.0; max_iterations = 100 }
@@ -617,9 +655,12 @@ let run tables run_ablations run_bechamel run_checkpoint max_live max_seconds
     && not run_checkpoint
   in
   let wants t = all || List.mem t tables in
-  if wants 1 then table1 budgets;
-  if wants 2 then table2 budgets;
-  if wants 3 then table3 budgets;
+  if wants 1 then
+    with_json_artifact "BENCH_table1.json" (fun () -> table1 budgets);
+  if wants 2 then
+    with_json_artifact "BENCH_table2.json" (fun () -> table2 budgets);
+  if wants 3 then
+    with_json_artifact "BENCH_table3.json" (fun () -> table3 budgets);
   if run_ablations || all then ablations budgets;
   if run_checkpoint || all then bench_checkpoint budgets;
   if run_bechamel || all then bechamel_suite ();
@@ -660,11 +701,20 @@ let () =
       value & flag
       & info [ "quick" ] ~doc:"Small budgets (smoke-testing the harness).")
   in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Also write machine-readable artifacts: one BENCH_tableN.json \
+             per table run, each row carrying the report fields plus a \
+             per-row telemetry snapshot.")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "bench" ~doc:"Regenerate the paper's tables and ablations")
       Term.(
         const run $ tables $ ablations_flag $ bechamel $ checkpoint
-        $ max_live $ max_seconds $ quick)
+        $ max_live $ max_seconds $ quick $ json)
   in
   exit (Cmd.eval cmd)

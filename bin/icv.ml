@@ -47,10 +47,33 @@ let parse_fallback spec =
       | None -> failwith (Printf.sprintf "unknown fallback method %S" s))
     (String.split_on_char ',' spec)
 
+(* Install a structured tracer writing to [path] for the duration of
+   [f]; the returned cleanup closes the sink (the Chrome exporter needs
+   the closing bracket even when the run dies by exception). *)
+let with_tracing trace_out trace_format f =
+  match trace_out with
+  | None -> f ()
+  | Some path ->
+    let tracer = Obs.Tracer.create () in
+    let oc = open_out path in
+    let sink =
+      match trace_format with
+      | `Jsonl -> Obs.Tracer.jsonl_sink tracer oc
+      | `Chrome -> Obs.Tracer.chrome_sink tracer oc
+    in
+    Obs.Tracer.add_sink tracer sink;
+    Obs.Tracer.set_global tracer;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Tracer.flush tracer;
+        close_out_noerr oc;
+        Obs.Tracer.set_global Obs.Tracer.disabled)
+      f
+
 let run_checked model_name depth width procs regs bound assisted bug meth_name
     trace max_seconds max_live grow_threshold resilient retries
     budget_escalation max_created checkpoint checkpoint_every resume fallback
-    verbose =
+    stats trace_out trace_format verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -76,6 +99,7 @@ let run_checked model_name depth width procs regs bound assisted bug meth_name
     | Mc.Report.Violated _ | Mc.Report.Proved | Mc.Report.Exceeded _ -> ()
   in
   Format.printf "model: %s@." model.Mc.Model.name;
+  with_tracing trace_out trace_format (fun () ->
   if resilient || fallback <> "" then begin
     (* Resilient mode: escalating-budget retries + portfolio fallback,
        with the per-attempt log in place of a single result row. *)
@@ -117,16 +141,18 @@ let run_checked model_name depth width procs regs bound assisted bug meth_name
         Format.printf "%a@." Mc.Report.pp_row r;
         show_trace (Mc.Runner.name meth) r)
       methods
-  end
+  end);
+  if stats then Mc.Telemetry.print_summary (Mc.Model.man model)
 
 let run model_name depth width procs regs bound assisted bug meth_name trace
     max_seconds max_live grow_threshold resilient retries budget_escalation
-    max_created checkpoint checkpoint_every resume fallback verbose =
+    max_created checkpoint checkpoint_every resume fallback stats trace_out
+    trace_format verbose =
   try
     run_checked model_name depth width procs regs bound assisted bug meth_name
       trace max_seconds max_live grow_threshold resilient retries
       budget_escalation max_created checkpoint checkpoint_every resume
-      fallback verbose
+      fallback stats trace_out trace_format verbose
   with
   | Failure msg
   | Sys_error msg
@@ -246,6 +272,32 @@ let () =
             "Portfolio for resilient mode (comma-separated method names, \
              tried in order).  Implies --resilient.")
   in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print the post-run telemetry summary: top registry counters \
+             (BDD cache hit rates, policy and tautology filter breakdowns) \
+             and the per-iteration table.")
+  in
+  let trace_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a structured execution trace (fixpoint iterations, \
+             policy phases, tautology checks) to $(docv).")
+  in
+  let trace_format =
+    Arg.(
+      value
+      & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Jsonl
+      & info [ "trace-format" ] ~docv:"FORMAT"
+          ~doc:
+            "Trace format: $(b,jsonl) (one event per line) or $(b,chrome) \
+             (trace_event JSON for chrome://tracing / Perfetto).")
+  in
   let verbose =
     Arg.(
       value & flag
@@ -258,6 +310,7 @@ let () =
         const run $ model $ depth $ width $ procs $ regs $ bound $ assisted
         $ bug $ meth $ trace $ max_seconds $ max_live $ grow $ resilient
         $ retries $ budget_escalation $ max_created $ checkpoint
-        $ checkpoint_every $ resume $ fallback $ verbose)
+        $ checkpoint_every $ resume $ fallback $ stats $ trace_out
+        $ trace_format $ verbose)
   in
   exit (Cmd.eval cmd)

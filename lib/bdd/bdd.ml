@@ -67,6 +67,8 @@ let pick_minterm _ ~vars f = Size.pick_minterm ~vars f
 let live_nodes = Man.live_nodes
 let created_nodes = Man.created_nodes
 let peak_live_nodes (man : man) = man.Man.peak_live
+let cache_stats = Man.cache_stats
+let gc_events = Man.gc_events
 let clear_caches = Man.clear_caches
 let gc = Man.gc
 let set_progress_hook = Man.set_progress_hook

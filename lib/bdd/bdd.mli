@@ -180,6 +180,18 @@ val created_nodes : man -> int
     for the paper's "total memory used" column. *)
 
 val peak_live_nodes : man -> int
+
+val cache_stats : man -> (string * int * int) list
+(** [(name, hits, misses)] for each of the eight memo caches (ite,
+    and_exists, exists, restrict, constrain, cofactor, rename,
+    vcompose), in that fixed order.  A hit is a lookup answered from
+    the cache; a miss proceeds into the recursive case.  The bounded
+    conjunction shares the ITE cache, so its lookups count there. *)
+
+val gc_events : man -> int
+(** Times the memo caches were dropped (budget-triggered trims plus
+    explicit {!gc}/trim calls) over the manager's lifetime. *)
+
 val clear_caches : man -> unit
 
 val gc : man -> unit

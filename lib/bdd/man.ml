@@ -19,6 +19,11 @@ type varset = {
 type cache2 = (int * int, Repr.t) Hashtbl.t
 type cache3 = (int * int * int, Repr.t) Hashtbl.t
 
+(* Per-memo-cache hit/miss accounting.  Plain mutable fields: the
+   increments sit next to Hashtbl lookups on every operator's hot path,
+   so they must cost nothing beyond a store. *)
+type cstat = { mutable hits : int; mutable misses : int }
+
 type t = {
   unique : Node_set.t;
   mutable next_id : int;
@@ -39,12 +44,23 @@ type t = {
   cache_cofactor : cache2;
   cache_rename : cache2;
   cache_vcompose : cache2;
+  stat_ite : cstat;
+  stat_and_exists : cstat;
+  stat_exists : cstat;
+  stat_restrict : cstat;
+  stat_constrain : cstat;
+  stat_cofactor : cstat;
+  stat_rename : cstat;
+  stat_vcompose : cstat;
+  mutable gc_events : int;      (* cache trims + explicit gc calls *)
   mutable vcomposes : (Repr.t option array * int) list;
   mutable next_vcompose_id : int;
   mutable cache_entries_budget : int;
   mutable progress_hook : (t -> unit) option;
   mutable fault_hook : (t -> unit) option;
 }
+
+let fresh_cstat () = { hits = 0; misses = 0 }
 
 let create ?(cache_budget = 2_000_000) () =
   {
@@ -67,6 +83,15 @@ let create ?(cache_budget = 2_000_000) () =
     cache_cofactor = Hashtbl.create 256;
     cache_rename = Hashtbl.create 256;
     cache_vcompose = Hashtbl.create 1024;
+    stat_ite = fresh_cstat ();
+    stat_and_exists = fresh_cstat ();
+    stat_exists = fresh_cstat ();
+    stat_restrict = fresh_cstat ();
+    stat_constrain = fresh_cstat ();
+    stat_cofactor = fresh_cstat ();
+    stat_rename = fresh_cstat ();
+    stat_vcompose = fresh_cstat ();
+    gc_events = 0;
     vcomposes = [];
     next_vcompose_id = 0;
     cache_entries_budget = cache_budget;
@@ -95,6 +120,7 @@ let maybe_trim_caches man =
     + Hashtbl.length man.cache_cofactor + Hashtbl.length man.cache_rename
   in
   if entries > man.cache_entries_budget then begin
+    man.gc_events <- man.gc_events + 1;
     clear_caches man;
     Gc.major ()
   end
@@ -118,8 +144,29 @@ let created_nodes man = man.created
 let num_vars man = man.nvars
 
 let gc man =
+  man.gc_events <- man.gc_events + 1;
   clear_caches man;
   Gc.full_major ()
+
+let gc_events man = man.gc_events
+
+(* Hot-path cache accounting; callers touch these on every memo-cache
+   lookup, so they are bare stores. *)
+let hit s = s.hits <- s.hits + 1
+let miss s = s.misses <- s.misses + 1
+
+(* (name, hits, misses) per memo cache, fixed order. *)
+let cache_stats man =
+  [
+    ("ite", man.stat_ite.hits, man.stat_ite.misses);
+    ("and_exists", man.stat_and_exists.hits, man.stat_and_exists.misses);
+    ("exists", man.stat_exists.hits, man.stat_exists.misses);
+    ("restrict", man.stat_restrict.hits, man.stat_restrict.misses);
+    ("constrain", man.stat_constrain.hits, man.stat_constrain.misses);
+    ("cofactor", man.stat_cofactor.hits, man.stat_cofactor.misses);
+    ("rename", man.stat_rename.hits, man.stat_rename.misses);
+    ("vcompose", man.stat_vcompose.hits, man.stat_vcompose.misses);
+  ]
 
 (* Interning. [hi] must be a regular (uncomplemented) reference. *)
 let intern man lvl lo lo_neg hi =

@@ -23,8 +23,11 @@ let rec ite man f g h =
   else begin
     let key = (tag f, tag g, tag h) in
     match Hashtbl.find_opt man.Man.cache_ite key with
-    | Some r -> r
+    | Some r ->
+      Man.hit man.Man.stat_ite;
+      r
     | None ->
+      Man.miss man.Man.stat_ite;
       Man.tick man;
       let v = min (level f) (min (level g) (level h)) in
       let f0, f1 = cofactors f v in
@@ -60,8 +63,11 @@ let band_bounded man ~max_steps f g =
       let f, g = if tag f <= tag g then (f, g) else (g, f) in
       let key = (tag f, tag g, -1) in
       match Hashtbl.find_opt man.Man.cache_ite key with
-      | Some r -> r
+      | Some r ->
+        Man.hit man.Man.stat_ite;
+        r
       | None ->
+        Man.miss man.Man.stat_ite;
         incr steps;
         if !steps > max_steps then raise Step_budget_exhausted;
         let v = min (level f) (level g) in
@@ -97,8 +103,11 @@ let cofactor man ~lvl ~value f =
     else begin
       let key = (key_base, tag f) in
       match Hashtbl.find_opt man.Man.cache_cofactor key with
-      | Some r -> r
+      | Some r ->
+        Man.hit man.Man.stat_cofactor;
+        r
       | None ->
+        Man.miss man.Man.stat_cofactor;
         Man.tick man;
         let v = level f in
         let f0, f1 = cofactors f v in
@@ -128,8 +137,11 @@ let vector_compose man subst f =
     else begin
       let key = (sid, tag f) in
       match Hashtbl.find_opt man.Man.cache_vcompose key with
-      | Some r -> r
+      | Some r ->
+        Man.hit man.Man.stat_vcompose;
+        r
       | None ->
+        Man.miss man.Man.stat_vcompose;
         Man.tick man;
         let v = level f in
         let f0, f1 = cofactors f v in

@@ -13,8 +13,11 @@ let rec exists man vs f =
   else begin
     let key = (vs.Man.vid, tag f) in
     match Hashtbl.find_opt man.Man.cache_exists key with
-    | Some r -> r
+    | Some r ->
+      Man.hit man.Man.stat_exists;
+      r
     | None ->
+      Man.miss man.Man.stat_exists;
       Man.tick man;
       let v = level f in
       let f0, f1 = cofactors f v in
@@ -49,8 +52,11 @@ let rec and_exists man vs f g =
     else begin
       let key = (vs.Man.vid, tag f, tag g) in
       match Hashtbl.find_opt man.Man.cache_and_exists key with
-      | Some r -> r
+      | Some r ->
+        Man.hit man.Man.stat_and_exists;
+        r
       | None ->
+        Man.miss man.Man.stat_and_exists;
         Man.tick man;
         let v = min (level f) (level g) in
         let f0, f1 = cofactors f v in

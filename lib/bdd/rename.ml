@@ -16,10 +16,12 @@ let rename man perm f =
       let key = ((pid * 0x10001) + 1, tag f) in
       match Hashtbl.find_opt man.Man.cache_rename key with
       | Some r ->
+        Man.hit man.Man.stat_rename;
         if level r <> terminal_level && level r <= bound then
           raise Not_monotone;
         r
       | None ->
+        Man.miss man.Man.stat_rename;
         let v = level f in
         let v' = map v in
         if v' <= bound then raise Not_monotone;

@@ -16,8 +16,11 @@ let rec restrict man f c =
   else begin
     let key = (tag f, tag c) in
     match Hashtbl.find_opt man.Man.cache_restrict key with
-    | Some r -> r
+    | Some r ->
+      Man.hit man.Man.stat_restrict;
+      r
     | None ->
+      Man.miss man.Man.stat_restrict;
       Man.tick man;
       let lf = level f and lc = level c in
       let r =
@@ -111,8 +114,11 @@ let rec constrain man f c =
   else begin
     let key = (tag f, tag c) in
     match Hashtbl.find_opt man.Man.cache_constrain key with
-    | Some r -> r
+    | Some r ->
+      Man.hit man.Man.stat_constrain;
+      r
     | None ->
+      Man.miss man.Man.stat_constrain;
       Man.tick man;
       let v = min (level f) (level c) in
       let f0, f1 = cofactors f v in

@@ -142,6 +142,62 @@ let check_checkpoint_resume ~limits ~expected spec =
               { check = "checkpoint-resume";
                 detail = "resumed run disagrees with the uninterrupted verdict" })
 
+(* Telemetry must be a pure observer: re-running a method with the
+   registry collecting and a JSONL trace sink attached must reach the
+   same verdict, and every line the sink emitted must survive an
+   Obs.Json parse -> print -> parse round-trip. *)
+let check_telemetry ~limits ~expected spec =
+  let fail detail = Some { check = "telemetry"; detail } in
+  let model = Spec.build_model spec in
+  let path = Oracle.temp_path () in
+  let tracer = Obs.Tracer.create () in
+  let oc = open_out path in
+  Obs.Tracer.add_sink tracer (Obs.Tracer.jsonl_sink tracer oc);
+  let saved = Obs.Tracer.global () in
+  Obs.Tracer.set_global tracer;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Tracer.set_global saved;
+      close_out_noerr oc;
+      Oracle.cleanup path)
+    (fun () ->
+      let r = Mc.Xici.run ~limits model in
+      Obs.Tracer.flush tracer;
+      Stdlib.flush oc;
+      match verdict_of r with
+      | None -> fail "XICI did not converge with telemetry enabled"
+      | Some v when v <> expected ->
+        fail "XICI changed its verdict with telemetry enabled"
+      | Some _ -> (
+        (* The run-level snapshot must round-trip too (this is what
+           bench --json embeds per row). *)
+        let snap = Mc.Telemetry.snapshot_json (Mc.Model.man model) in
+        if
+          not
+            (Obs.Json.equal snap (Obs.Json.of_string (Obs.Json.to_string snap)))
+        then fail "telemetry snapshot does not round-trip through Obs.Json"
+        else
+          let ic = open_in path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              let bad = ref None in
+              (try
+                 while !bad = None do
+                   let line = input_line ic in
+                   match Obs.Json.of_string line with
+                   | j ->
+                     if
+                       not
+                         (Obs.Json.equal j
+                            (Obs.Json.of_string (Obs.Json.to_string j)))
+                     then bad := fail "trace line does not round-trip"
+                   | exception Obs.Json.Parse_error msg ->
+                     bad := fail ("trace line does not parse: " ^ msg)
+                 done
+               with End_of_file -> ());
+              !bad)))
+
 let check_spec ?(limits = Oracle.default_limits) spec =
   let expected = Spec.reference_verdict spec in
   let checks =
@@ -149,7 +205,10 @@ let check_spec ?(limits = Oracle.default_limits) spec =
       (fun t () ->
         check_transformed ~limits ~expected (transform_name t) (apply t spec))
       all_transforms
-    @ [ (fun () -> check_checkpoint_resume ~limits ~expected spec) ]
+    @ [
+        (fun () -> check_checkpoint_resume ~limits ~expected spec);
+        (fun () -> check_telemetry ~limits ~expected spec);
+      ]
   in
   List.fold_left
     (fun acc f -> match acc with Some _ -> acc | None -> f ())

@@ -21,5 +21,7 @@ type disagreement = Oracle.disagreement = { check : string; detail : string }
 
 val check_spec :
   ?limits:(Bdd.man -> Mc.Limits.t) -> Spec.t -> disagreement option
-(** [None] when every transform preserves the verdict and checkpoint
-    kill + resume reaches the uninterrupted answer. *)
+(** [None] when every transform preserves the verdict, checkpoint
+    kill + resume reaches the uninterrupted answer, and running with
+    telemetry enabled (registry + JSONL trace sink) neither changes the
+    verdict nor emits a line that fails an [Obs.Json] round-trip. *)

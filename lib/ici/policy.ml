@@ -29,6 +29,25 @@ let default =
   { grow_threshold = 1.5; simplifier = Restrict; evaluation = Greedy;
     pair_step_factor = Some 64 }
 
+(* Process-wide policy metrics ("policy.*" in Obs.Registry.default).
+   NOTE: [config] is serialized field-by-field into checkpoints, so
+   stats must stay out of it; the registry carries them instead. *)
+module M = struct
+  let reg = Obs.Registry.default
+  let pairs_scored = Obs.Registry.counter reg "policy.pairs_scored"
+  let pairs_abandoned = Obs.Registry.counter reg "policy.pairs_abandoned"
+  let pair_cache_hits = Obs.Registry.counter reg "policy.pair_cache_hits"
+  let merges = Obs.Registry.counter reg "policy.merges"
+  let restrict_wins = Obs.Registry.counter reg "policy.restrict_wins"
+  let restrict_losses = Obs.Registry.counter reg "policy.restrict_losses"
+  let collapses = Obs.Registry.counter reg "policy.collapses"
+
+  (* Best-pair size ratios, in percent (so 150 = the default
+     GrowThreshold); log2 buckets separate "free" merges (<100) from
+     marginal and hopeless ones. *)
+  let ratio_pct = Obs.Registry.histogram reg "policy.best_ratio_pct"
+end
+
 let apply_simplifier man simplifier f care =
   match simplifier with
   | Restrict | Multi_restrict -> Bdd.restrict man f care
@@ -61,7 +80,14 @@ let simplify_pass man cfg xs =
             List.filteri (fun j _ -> j <> i) (Array.to_list arr)
           in
           let r = Bdd.multi_restrict man arr.(i) others in
-          if Bdd.is_false r then collapsed := true else arr.(i) <- r
+          if Bdd.size r < Bdd.size arr.(i) then
+            Obs.Registry.incr M.restrict_wins
+          else Obs.Registry.incr M.restrict_losses;
+          if Bdd.is_false r then begin
+            Obs.Registry.incr M.collapses;
+            collapsed := true
+          end
+          else arr.(i) <- r
         end
       done;
       if !collapsed then [ Bdd.fls man ]
@@ -88,8 +114,14 @@ let simplify_pass man cfg xs =
                  && Bdd.size arr.(j) < Bdd.size arr.(i)
               then begin
                 let r = apply_simplifier man s arr.(i) arr.(j) in
+                if Bdd.size r < Bdd.size arr.(i) then
+                  Obs.Registry.incr M.restrict_wins
+                else Obs.Registry.incr M.restrict_losses;
                 (* r = false means x_i /\ x_j is unsatisfiable. *)
-                if Bdd.is_false r then collapsed := true
+                if Bdd.is_false r then begin
+                  Obs.Registry.incr M.collapses;
+                  collapsed := true
+                end
                 else arr.(i) <- r
               end)
             order)
@@ -111,8 +143,11 @@ let greedy_evaluate man ?pair_step_factor ~grow_threshold xs =
     let ka = Bdd.tag a and kb = Bdd.tag b in
     let key = if ka <= kb then (ka, kb) else (kb, ka) in
     match Hashtbl.find_opt pair_cache key with
-    | Some p -> p
+    | Some p ->
+      Obs.Registry.incr M.pair_cache_hits;
+      p
     | None ->
+      Obs.Registry.incr M.pairs_scored;
       let p =
         match pair_step_factor with
         | None -> Some (Bdd.band man a b)
@@ -120,6 +155,7 @@ let greedy_evaluate man ?pair_step_factor ~grow_threshold xs =
           let max_steps = (factor * Bdd.size_list [ a; b ]) + 1024 in
           Bdd.band_bounded man ~max_steps a b
       in
+      if Option.is_none p then Obs.Registry.incr M.pairs_abandoned;
       Hashtbl.replace pair_cache key p;
       p
   in
@@ -145,7 +181,12 @@ let greedy_evaluate man ?pair_step_factor ~grow_threshold xs =
         done
       done;
       (match !best with
+      | Some (r, _, _, _) ->
+        Obs.Registry.observe M.ratio_pct (int_of_float (r *. 100.0))
+      | None -> ());
+      (match !best with
       | Some (r, i, j, p) when r <= grow_threshold ->
+        Obs.Registry.incr M.merges;
         let rest =
           List.filteri (fun k _ -> k <> i && k <> j) (Array.to_list arr)
         in
@@ -176,14 +217,26 @@ let cover_evaluate man xs =
     Clist.of_list man parts
   end
 
-(* The full XICI list transformer: simplify, then evaluate. *)
+(* The full XICI list transformer: simplify, then evaluate.  Each phase
+   is a span so traces show where policy time goes; args record the
+   list length going in and out. *)
 let improve man cfg xs =
-  let xs = simplify_pass man cfg xs in
+  let tracer = Obs.Tracer.global () in
+  let span name n f =
+    Obs.Tracer.with_span tracer ~cat:"policy"
+      ~args:(fun () -> [ ("conjuncts", Obs.Json.Int n) ])
+      name f
+  in
+  let xs =
+    span "policy.simplify" (List.length xs) (fun () ->
+        simplify_pass man cfg xs)
+  in
   if Clist.is_false xs then xs
   else
-    match cfg.evaluation with
-    | Greedy ->
-      greedy_evaluate man ?pair_step_factor:cfg.pair_step_factor
-        ~grow_threshold:cfg.grow_threshold xs
-    | Optimal_cover -> cover_evaluate man xs
-    | No_evaluation -> xs
+    span "policy.evaluate" (List.length xs) (fun () ->
+        match cfg.evaluation with
+        | Greedy ->
+          greedy_evaluate man ?pair_step_factor:cfg.pair_step_factor
+            ~grow_threshold:cfg.grow_threshold xs
+        | Optimal_cover -> cover_evaluate man xs
+        | No_evaluation -> xs)

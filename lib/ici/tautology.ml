@@ -26,10 +26,46 @@ type stats = {
   mutable simplifications : int;  (* restrict calls in step 3 *)
   mutable max_depth : int;
   mutable memo_hits : int;
+  mutable checks : int;  (* top-level check calls *)
+  mutable constant_hits : int;  (* step-1 TRUE-member short circuits *)
+  mutable complement_hits : int;  (* step-2 complement-pair detections *)
+  mutable duplicate_hits : int;  (* step-2 duplicates dropped *)
+  mutable pairwise_tautologies : int;  (* step-3 Restrict found TRUE *)
+  mutable fuel_exhausted : int;  (* Out_of_fuel raises (caller retries) *)
 }
 
 let fresh_stats () =
-  { expansions = 0; simplifications = 0; max_depth = 0; memo_hits = 0 }
+  {
+    expansions = 0;
+    simplifications = 0;
+    max_depth = 0;
+    memo_hits = 0;
+    checks = 0;
+    constant_hits = 0;
+    complement_hits = 0;
+    duplicate_hits = 0;
+    pairwise_tautologies = 0;
+    fuel_exhausted = 0;
+  }
+
+(* Registry mirrors: every filter that fires also bumps a process-wide
+   counter, so [icv --stats] and bench snapshots see the per-filter
+   breakdown without threading a stats record from the top.  Handles
+   are resolved once here. *)
+module M = struct
+  let reg = Obs.Registry.default
+  let checks = Obs.Registry.counter reg "taut.checks"
+  let expansions = Obs.Registry.counter reg "taut.expansions"
+  let simplifications = Obs.Registry.counter reg "taut.simplifications"
+  let memo_hits = Obs.Registry.counter reg "taut.memo_hits"
+  let constant_hits = Obs.Registry.counter reg "taut.constant_hits"
+  let complement_hits = Obs.Registry.counter reg "taut.complement_hits"
+  let duplicate_hits = Obs.Registry.counter reg "taut.duplicate_hits"
+  let pairwise_tautologies = Obs.Registry.counter reg "taut.pairwise_tautologies"
+  let fuel_exhausted = Obs.Registry.counter reg "taut.fuel_exhausted"
+  let max_depth = Obs.Registry.gauge reg "taut.max_depth"
+  let members = Obs.Registry.histogram reg "taut.check_members"
+end
 
 exception Out_of_fuel
 
@@ -56,17 +92,31 @@ let choose_var choice ds =
 
 (* Steps 1-2: constants, duplicates, complements.  Returns [None] when
    the disjunction is already known to be a tautology. *)
-let filter_members ds =
+let filter_members stats ds =
   let seen = Hashtbl.create 16 in
   let rec go acc = function
     | [] -> Some (List.rev acc)
     | d :: rest ->
-      if Bdd.is_true d then None
+      if Bdd.is_true d then begin
+        stats.constant_hits <- stats.constant_hits + 1;
+        Obs.Registry.incr M.constant_hits;
+        None
+      end
       else if Bdd.is_false d then go acc rest
       else begin
         let t = Bdd.tag d in
-        if Hashtbl.mem seen (t lxor 1) then None (* complement present *)
-        else if Hashtbl.mem seen t then go acc rest (* duplicate *)
+        if Hashtbl.mem seen (t lxor 1) then begin
+          (* complement present *)
+          stats.complement_hits <- stats.complement_hits + 1;
+          Obs.Registry.incr M.complement_hits;
+          None
+        end
+        else if Hashtbl.mem seen t then begin
+          (* duplicate *)
+          stats.duplicate_hits <- stats.duplicate_hits + 1;
+          Obs.Registry.incr M.duplicate_hits;
+          go acc rest
+        end
         else begin
           Hashtbl.add seen t ();
           go (d :: acc) rest
@@ -90,8 +140,14 @@ let simplify_members man stats ds =
          && not (Bdd.is_const arr.(j))
       then begin
         stats.simplifications <- stats.simplifications + 1;
+        Obs.Registry.incr M.simplifications;
         let r = Bdd.restrict man arr.(i) (Bdd.bnot man arr.(j)) in
-        if Bdd.is_true r then tauto := true else arr.(i) <- r
+        if Bdd.is_true r then begin
+          stats.pairwise_tautologies <- stats.pairwise_tautologies + 1;
+          Obs.Registry.incr M.pairwise_tautologies;
+          tauto := true
+        end
+        else arr.(i) <- r
       end
     done
   done;
@@ -110,13 +166,20 @@ let check ?(var_choice = First_top) ?(simplify = true) ?(memo = true) ?fuel
   let table : (int list, bool) Hashtbl.t = Hashtbl.create 64 in
   let burn () =
     stats.expansions <- stats.expansions + 1;
+    Obs.Registry.incr M.expansions;
     match fuel with
-    | Some limit when stats.expansions > limit -> raise Out_of_fuel
+    | Some limit when stats.expansions > limit ->
+      stats.fuel_exhausted <- stats.fuel_exhausted + 1;
+      Obs.Registry.incr M.fuel_exhausted;
+      raise Out_of_fuel
     | _ -> ()
   in
   let rec go depth ds =
-    if depth > stats.max_depth then stats.max_depth <- depth;
-    match filter_members ds with
+    if depth > stats.max_depth then begin
+      stats.max_depth <- depth;
+      Obs.Registry.set_max M.max_depth (float_of_int depth)
+    end;
+    match filter_members stats ds with
     | None -> true
     | Some [] -> false
     | Some [ d ] -> Bdd.is_true d
@@ -127,6 +190,7 @@ let check ?(var_choice = First_top) ?(simplify = true) ?(memo = true) ?fuel
       match Option.bind key (Hashtbl.find_opt table) with
       | Some verdict ->
         stats.memo_hits <- stats.memo_hits + 1;
+        Obs.Registry.incr M.memo_hits;
         verdict
       | None ->
         let verdict = expand depth ds in
@@ -142,7 +206,7 @@ let check ?(var_choice = First_top) ?(simplify = true) ?(memo = true) ?fuel
         | Some ds' -> ds'
       else ds
     in
-    match filter_members ds with
+    match filter_members stats ds with
     | None -> true
     | Some [] -> false
     | Some [ d ] -> Bdd.is_true d
@@ -154,7 +218,13 @@ let check ?(var_choice = First_top) ?(simplify = true) ?(memo = true) ?fuel
       in
       go (depth + 1) (cof false) && go (depth + 1) (cof true)
   in
-  go 0 ds
+  stats.checks <- stats.checks + 1;
+  Obs.Registry.incr M.checks;
+  Obs.Registry.observe M.members (List.length ds);
+  Obs.Tracer.with_span (Obs.Tracer.global ()) ~cat:"taut"
+    ~args:(fun () -> [ ("members", Obs.Json.Int (List.length ds)) ])
+    "taut.check"
+    (fun () -> go 0 ds)
 
 (* X => Y for implicit conjunctions X = /\ xs, Y = /\ ys: for every y_j,
    (not x1 \/ ... \/ not xn \/ y_j) must be a tautology. *)

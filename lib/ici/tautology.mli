@@ -12,13 +12,26 @@ type var_choice =
   | Most_common  (** most frequent root variable *)
 
 type stats = {
-  mutable expansions : int;
-  mutable simplifications : int;
-  mutable max_depth : int;
+  mutable expansions : int;  (** Shannon expansions *)
+  mutable simplifications : int;  (** Theorem-3 Restrict calls *)
+  mutable max_depth : int;  (** deepest Shannon recursion *)
   mutable memo_hits : int;
+  mutable checks : int;  (** top-level {!check} calls *)
+  mutable constant_hits : int;  (** TRUE-member short circuits (step 1) *)
+  mutable complement_hits : int;  (** complement-pair detections (step 2) *)
+  mutable duplicate_hits : int;  (** duplicates dropped (step 2) *)
+  mutable pairwise_tautologies : int;
+      (** step-3 Restrict reduced a member to TRUE *)
+  mutable fuel_exhausted : int;
+      (** [Out_of_fuel] raises; callers typically retry with more fuel *)
 }
+(** Per-filter cost and hit counters.  Every update is mirrored into
+    process-wide ["taut.*"] metrics in [Obs.Registry.default], so the
+    breakdown is visible to [icv --stats] and bench snapshots without
+    threading a record. *)
 
 val fresh_stats : unit -> stats
+(** A zeroed record ({!check} allocates its own when none is passed). *)
 
 exception Out_of_fuel
 

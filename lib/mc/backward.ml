@@ -24,7 +24,8 @@ let run ?(limits = fun man -> Limits.unlimited man) ?image_via model =
         Limits.check_iteration lim man ~iteration:!iterations;
         Report.observe_set peak [ g ];
         Log.iteration ~meth:"Bkwd" ~iteration:!iterations ~conjuncts:1
-          ~nodes:(Bdd.size g);
+          ~nodes:(Bdd.size g) ~elapsed_s:(Limits.elapsed lim)
+          ~live_nodes:(Bdd.live_nodes man);
         if not (Bdd.implies man model.Model.init g) then begin
           let start =
             Trace.pick trans (Bdd.band man model.Model.init (Bdd.bnot man g))
@@ -35,7 +36,11 @@ let run ?(limits = fun man -> Limits.unlimited man) ?image_via model =
         else begin
           incr iterations;
           let g' =
-            Bdd.band man g0 (Fsm.Trans.back_image ?via:image_via trans g)
+            Obs.Tracer.with_span (Obs.Tracer.global ()) ~cat:"mc"
+              ~args:(fun () -> [ ("iteration", Obs.Json.Int !iterations) ])
+              "bkwd.back_image"
+              (fun () ->
+                Bdd.band man g0 (Fsm.Trans.back_image ?via:image_via trans g))
           in
           if Bdd.equal g' g then begin
             (* Converged: the last BackImage did not shrink the set. *)

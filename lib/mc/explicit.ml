@@ -103,7 +103,8 @@ let run_full ?(limits = fun man -> Limits.unlimited man) model =
             done
         done;
         Log.iteration ~meth:"Expl" ~iteration:!depth_reached
-          ~conjuncts:(Hashtbl.length seen) ~nodes:0;
+          ~conjuncts:(Hashtbl.length seen) ~nodes:0
+          ~elapsed_s:(Limits.elapsed lim) ~live_nodes:(Bdd.live_nodes man);
         match !result with
         | Some status -> finish status
         | None -> finish Report.Proved

@@ -110,7 +110,8 @@ let run ?(limits = fun man -> Limits.unlimited man) model =
         Limits.check_iteration lim man ~iteration:!iterations;
         Log.iteration ~meth:"FD" ~iteration:!iterations
           ~conjuncts:(1 + List.length deps)
-          ~nodes:(Bdd.size_list (r :: List.map (fun d -> d.func) deps));
+          ~nodes:(Bdd.size_list (r :: List.map (fun d -> d.func) deps))
+          ~elapsed_s:(Limits.elapsed lim) ~live_nodes:(Bdd.live_nodes man);
         let dconjs = List.map (dep_conjunct man) deps in
         Report.observe_set peak (r :: List.map (fun d -> d.func) deps);
         match find_violation r dconjs with

@@ -28,11 +28,17 @@ let run ?(limits = fun man -> Limits.unlimited man) model =
     Limits.check_iteration lim man ~iteration:!iterations;
     Report.observe_set peak [ reached ];
     Log.iteration ~meth:"Fwd" ~iteration:!iterations ~conjuncts:1
-      ~nodes:(Bdd.size reached);
+      ~nodes:(Bdd.size reached) ~elapsed_s:(Limits.elapsed lim)
+      ~live_nodes:(Bdd.live_nodes man);
     match violation frontier rings with
     | Some tr -> finish (Report.Violated tr)
     | None ->
-      let img = Fsm.Trans.image trans frontier in
+      let img =
+        Obs.Tracer.with_span (Obs.Tracer.global ()) ~cat:"mc"
+          ~args:(fun () -> [ ("iteration", Obs.Json.Int !iterations) ])
+          "fwd.image"
+          (fun () -> Fsm.Trans.image trans frontier)
+      in
       let reached' = Bdd.bor man reached img in
       if Bdd.equal reached' reached then finish Report.Proved
       else begin

@@ -86,7 +86,8 @@ let run ?(limits = fun man -> Limits.unlimited man)
           Report.observe_set peak parts;
           Log.iteration ~meth:"IDI" ~iteration:!iterations
             ~conjuncts:(List.length parts)
-            ~nodes:(Bdd.size_list parts);
+            ~nodes:(Bdd.size_list parts)
+            ~elapsed_s:(Limits.elapsed lim) ~live_nodes:(Bdd.live_nodes man);
           match find_violation man frontier property with
           | Some bad -> finish (Report.Violated (trace_of trans rings bad))
           | None ->

@@ -31,7 +31,8 @@ let run ?(limits = fun man -> Limits.unlimited man)
         Report.observe_set peak l;
         Log.iteration ~meth:"ICI" ~iteration:!iterations
           ~conjuncts:(Ici.Clist.length l)
-          ~nodes:(Ici.Clist.shared_size l);
+          ~nodes:(Ici.Clist.shared_size l)
+          ~elapsed_s:(Limits.elapsed lim) ~live_nodes:(Bdd.live_nodes man);
         match Ici.Clist.find_unimplied man model.Model.init l with
         | Some c ->
           let start =

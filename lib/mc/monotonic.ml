@@ -1,7 +1,6 @@
-(* Monotonic wall-clock readings for resource budgets; see the stub in
-   monotonic_stubs.c.  The epoch is arbitrary (boot time on Linux), so
-   readings are only meaningful as differences. *)
+(* Shim over Obs.Clock, which owns the CLOCK_MONOTONIC C stub (the
+   telemetry tracer needs the clock below the mc layer).  Kept so
+   existing callers of Mc.Monotonic keep working. *)
 
-external now_ns : unit -> int64 = "icv_monotonic_now_ns"
-
-let now () = Int64.to_float (now_ns ()) /. 1e9
+let now_ns = Obs.Clock.now_ns
+let now = Obs.Clock.now

@@ -73,6 +73,29 @@ let observe_set peak (xs : Bdd.t list) =
    without rebuilding the report. *)
 let relabel r ~method_name = { r with method_name }
 
+(* Machine-readable form for BENCH_*.json rows; the status collapses to
+   its verdict word (the trace itself stays out of artifacts). *)
+let to_json r =
+  let status =
+    match r.status with
+    | Proved -> "proved"
+    | Violated _ -> "violated"
+    | Exceeded why -> Printf.sprintf "exceeded: %s" why
+  in
+  Obs.Json.Obj
+    [
+      ("model", Obs.Json.String r.model);
+      ("method", Obs.Json.String r.method_name);
+      ("status", Obs.Json.String status);
+      ("iterations", Obs.Json.Int r.iterations);
+      ("peak_set_nodes", Obs.Json.Int r.peak_set_nodes);
+      ( "peak_conjuncts",
+        Obs.Json.List (List.map (fun n -> Obs.Json.Int n) r.peak_conjuncts) );
+      ("nodes_created", Obs.Json.Int r.nodes_created);
+      ("peak_live_nodes", Obs.Json.Int r.peak_live_nodes);
+      ("wall_seconds", Obs.Json.Float r.time_s);
+    ]
+
 let make ~model ~method_name ~status ~iterations ~peak ~man ~baseline ~time_s =
   {
     model;

@@ -34,6 +34,12 @@ val relabel : t -> method_name:string -> t
 (** The same report under a different method label (attempt logs tag
     rows with the attempt number and budget). *)
 
+val to_json : t -> Obs.Json.t
+(** Machine-readable row [{model, method, status, iterations,
+    peak_set_nodes, peak_conjuncts, nodes_created, peak_live_nodes,
+    wall_seconds}]; the status collapses to its verdict word (traces
+    stay out of artifacts). *)
+
 (** {1 Peak tracking used by the method implementations} *)
 
 type peak

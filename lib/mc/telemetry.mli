@@ -1,0 +1,17 @@
+(** Bridge from the BDD manager's always-on counters into
+    [Obs.Registry.default], plus run-level snapshot helpers. *)
+
+val publish : Bdd.man -> unit
+(** Copy the manager's per-cache hit/miss counters, gc events and node
+    accounting into ["bdd.*"] gauges (absolute values). *)
+
+val snapshot_json : Bdd.man -> Obs.Json.t
+(** [publish], then the registry snapshot and per-iteration log as one
+    JSON object [{metrics, iterations}]. *)
+
+val reset : unit -> unit
+(** Zero the default registry and clear the iteration log (call between
+    independent runs; manager-owned counters are untouched). *)
+
+val print_summary : Bdd.man -> unit
+(** [publish], then print the summary tables to stdout. *)

@@ -87,26 +87,37 @@ let run_full ?(limits = fun man -> Limits.unlimited man) ?cfg ?termination
         }
     | Some _ | None -> ()
   in
+  let tracer = Obs.Tracer.global () in
   Limits.with_guard lim man (fun () ->
     try
       let l0 = Ici.Clist.of_list man (Model.property model) in
-      let rec iterate l gs =
+      (* Each fixpoint iteration runs inside a span; the recursive call
+         happens outside it (the step returns `Continue), so spans are
+         siblings on the trace timeline rather than a nest as deep as
+         the iteration count. *)
+      let step l gs =
         maybe_checkpoint l gs;
         Limits.check_iteration lim man ~iteration:!iterations;
         Report.observe_set peak l;
         Log.iteration ~meth:"XICI" ~iteration:!iterations
           ~conjuncts:(Ici.Clist.length l)
-          ~nodes:(Ici.Clist.shared_size l);
+          ~nodes:(Ici.Clist.shared_size l)
+          ~elapsed_s:(Limits.elapsed lim) ~live_nodes:(Bdd.live_nodes man);
         match Ici.Clist.find_unimplied man model.Model.init l with
         | Some c ->
           let start =
             Trace.pick trans (Bdd.band man model.Model.init (Bdd.bnot man c))
           in
-          finish
-            (Report.Violated (Trace.backward trans ~gs:(List.rev gs) ~start))
+          `Done
+            (finish
+               (Report.Violated
+                  (Trace.backward trans ~gs:(List.rev gs) ~start)))
         | None ->
           incr iterations;
-          let back = List.map (Fsm.Trans.back_image trans) l in
+          let back =
+            Obs.Tracer.with_span tracer ~cat:"mc" "xici.back_image"
+              (fun () -> List.map (Fsm.Trans.back_image trans) l)
+          in
           let l' = Ici.Policy.improve man cfg (l0 @ back) in
           if Ici.Clist.is_false l' then begin
             (* Good states form an empty inductive core; any start state
@@ -117,16 +128,32 @@ let run_full ?(limits = fun man -> Limits.unlimited man) ?cfg ?termination
                 Trace.pick trans
                   (Bdd.band man model.Model.init (Bdd.bnot man c))
               in
-              finish
-                (Report.Violated
-                   (Trace.backward trans ~gs:(List.rev (l' :: gs)) ~start))
-            | None -> finish Report.Proved
+              `Done
+                (finish
+                   (Report.Violated
+                      (Trace.backward trans ~gs:(List.rev (l' :: gs)) ~start)))
+            | None -> `Done (finish Report.Proved)
           end
           else if converged l l' then begin
             final := Some l';
-            finish Report.Proved
+            `Done (finish Report.Proved)
           end
-          else iterate l' (l' :: gs)
+          else `Continue (l', l' :: gs)
+      in
+      let rec iterate l gs =
+        let i = !iterations in
+        match
+          Obs.Tracer.with_span tracer ~cat:"mc"
+            ~args:(fun () ->
+              [
+                ("iteration", Obs.Json.Int i);
+                ("conjuncts", Obs.Json.Int (Ici.Clist.length l));
+              ])
+            "xici.iteration"
+            (fun () -> step l gs)
+        with
+        | `Done report -> report
+        | `Continue (l', gs') -> iterate l' gs'
       in
       let report =
         match resume_from with

@@ -1,0 +1,7 @@
+(* Monotonic wall-clock readings; see the stub in monotonic_stubs.c.
+   The epoch is arbitrary (boot time on Linux), so readings are only
+   meaningful as differences. *)
+
+external now_ns : unit -> int64 = "icv_monotonic_now_ns"
+
+let now () = Int64.to_float (now_ns ()) /. 1e9

@@ -1,0 +1,9 @@
+(** Monotonic clock (CLOCK_MONOTONIC), immune to NTP steps and manual
+    clock changes.  The epoch is arbitrary: readings are only meaningful
+    as differences. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds since an arbitrary fixed epoch; never decreases. *)
+
+val now : unit -> float
+(** Seconds since an arbitrary fixed epoch; never decreases. *)

@@ -1,0 +1,37 @@
+(* Per-iteration fixpoint records.  Every method's iteration logging
+   (via Mc.Log.iteration) lands here so the post-run summary can print
+   a per-iteration breakdown without re-running anything.  One global
+   run buffer: methods run sequentially, and the CLI clears it between
+   runs. *)
+
+type row = {
+  meth : string;
+  iteration : int;
+  conjuncts : int;
+  nodes : int;
+  elapsed_s : float;  (* since the method's own start, monotonic *)
+  live_nodes : int;  (* manager live-node peak when the row was taken *)
+}
+
+let buffer : row list ref = ref []
+
+let record row = buffer := row :: !buffer
+
+let rows () = List.rev !buffer
+
+let clear () = buffer := []
+
+let to_json () =
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [
+             ("method", Json.String r.meth);
+             ("iteration", Json.Int r.iteration);
+             ("conjuncts", Json.Int r.conjuncts);
+             ("nodes", Json.Int r.nodes);
+             ("elapsed_s", Json.Float r.elapsed_s);
+             ("live_nodes", Json.Int r.live_nodes);
+           ])
+       (rows ()))

@@ -1,0 +1,19 @@
+(** Per-iteration fixpoint records, fed by [Mc.Log.iteration] and read
+    back by the post-run summary and bench snapshots.  One global run
+    buffer; the caller clears it between runs. *)
+
+type row = {
+  meth : string;
+  iteration : int;
+  conjuncts : int;
+  nodes : int;
+  elapsed_s : float;  (** since the method's own start, monotonic *)
+  live_nodes : int;  (** manager live-node peak when the row was taken *)
+}
+
+val record : row -> unit
+val rows : unit -> row list
+(** In recording order. *)
+
+val clear : unit -> unit
+val to_json : unit -> Json.t

@@ -1,0 +1,291 @@
+(* Minimal JSON values for telemetry artifacts: the trace sinks, the
+   metrics snapshots and the bench JSON tables all go through this one
+   printer, and the fuzz losslessness oracle and the bench-regression
+   checker go through the parser.  Deliberately tiny (no external
+   dependency): objects are association lists in insertion order,
+   integers and floats are kept distinct so a parse of printed output
+   reproduces the original value exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* --- printing -------------------------------------------------------- *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Floats print at full precision; a fractionless rendering gets a
+   trailing ".0" so the value parses back as a Float, not an Int (the
+   losslessness contract).  Non-finite floats have no JSON encoding and
+   degrade to null. *)
+let float_to buf f =
+  match Float.classify_float f with
+  | FP_infinite | FP_nan -> Buffer.add_string buf "null"
+  | _ ->
+    let s = Printf.sprintf "%.17g" f in
+    Buffer.add_string buf s;
+    if String.for_all (fun c -> c <> '.' && c <> 'e' && c <> 'E') s then
+      Buffer.add_string buf ".0"
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f -> float_to buf f
+  | String s -> escape_to buf s
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        to_buffer buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_to buf k;
+        Buffer.add_char buf ':';
+        to_buffer buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  to_buffer buf j;
+  Buffer.contents buf
+
+(* --- parsing --------------------------------------------------------- *)
+
+type cursor = { src : string; mutable pos : int }
+
+let fail cur fmt =
+  Printf.ksprintf
+    (fun s -> raise (Parse_error (Printf.sprintf "%s at offset %d" s cur.pos)))
+    fmt
+
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let rec skip_ws cur =
+  match peek cur with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance cur;
+    skip_ws cur
+  | _ -> ()
+
+let expect cur c =
+  match peek cur with
+  | Some c' when c' = c -> advance cur
+  | Some c' -> fail cur "expected %C, found %C" c c'
+  | None -> fail cur "expected %C, found end of input" c
+
+let literal cur word value =
+  let n = String.length word in
+  if
+    cur.pos + n <= String.length cur.src
+    && String.sub cur.src cur.pos n = word
+  then begin
+    cur.pos <- cur.pos + n;
+    value
+  end
+  else fail cur "bad literal"
+
+(* UTF-8 encode a \uXXXX escape (surrogate pairs are not combined: the
+   printer never emits them, so the parser only needs the BMP). *)
+let add_codepoint buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_string cur =
+  expect cur '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek cur with
+    | None -> fail cur "unterminated string"
+    | Some '"' ->
+      advance cur;
+      Buffer.contents buf
+    | Some '\\' -> (
+      advance cur;
+      match peek cur with
+      | None -> fail cur "unterminated escape"
+      | Some c ->
+        advance cur;
+        (match c with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          if cur.pos + 4 > String.length cur.src then
+            fail cur "truncated \\u escape";
+          let hex = String.sub cur.src cur.pos 4 in
+          (match int_of_string_opt ("0x" ^ hex) with
+          | Some cp ->
+            cur.pos <- cur.pos + 4;
+            add_codepoint buf cp
+          | None -> fail cur "bad \\u escape %S" hex)
+        | c -> fail cur "bad escape \\%C" c);
+        go ())
+    | Some c ->
+      advance cur;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ()
+
+let parse_number cur =
+  let start = cur.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek cur with Some c -> is_num_char c | None -> false) do
+    advance cur
+  done;
+  let s = String.sub cur.src start (cur.pos - start) in
+  let floaty = String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s in
+  if floaty then
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> fail cur "bad number %S" s
+  else
+    match int_of_string_opt s with
+    | Some n -> Int n
+    | None -> (
+      (* Integers beyond OCaml's int range degrade to floats. *)
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> fail cur "bad number %S" s)
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> fail cur "unexpected end of input"
+  | Some 'n' -> literal cur "null" Null
+  | Some 't' -> literal cur "true" (Bool true)
+  | Some 'f' -> literal cur "false" (Bool false)
+  | Some '"' -> String (parse_string cur)
+  | Some '[' ->
+    advance cur;
+    skip_ws cur;
+    if peek cur = Some ']' then begin
+      advance cur;
+      List []
+    end
+    else begin
+      let rec elems acc =
+        let v = parse_value cur in
+        skip_ws cur;
+        match peek cur with
+        | Some ',' ->
+          advance cur;
+          elems (v :: acc)
+        | Some ']' ->
+          advance cur;
+          List.rev (v :: acc)
+        | _ -> fail cur "expected ',' or ']'"
+      in
+      List (elems [])
+    end
+  | Some '{' ->
+    advance cur;
+    skip_ws cur;
+    if peek cur = Some '}' then begin
+      advance cur;
+      Obj []
+    end
+    else begin
+      let field () =
+        skip_ws cur;
+        let k = parse_string cur in
+        skip_ws cur;
+        expect cur ':';
+        let v = parse_value cur in
+        (k, v)
+      in
+      let rec fields acc =
+        let kv = field () in
+        skip_ws cur;
+        match peek cur with
+        | Some ',' ->
+          advance cur;
+          fields (kv :: acc)
+        | Some '}' ->
+          advance cur;
+          List.rev (kv :: acc)
+        | _ -> fail cur "expected ',' or '}'"
+      in
+      Obj (fields [])
+    end
+  | Some ('-' | '0' .. '9') -> parse_number cur
+  | Some c -> fail cur "unexpected character %C" c
+
+let of_string s =
+  let cur = { src = s; pos = 0 } in
+  let v = parse_value cur in
+  skip_ws cur;
+  if cur.pos <> String.length s then fail cur "trailing garbage";
+  v
+
+(* --- structural equality and accessors ------------------------------- *)
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool a, Bool b -> a = b
+  | Int a, Int b -> a = b
+  | Float a, Float b -> a = b || (Float.is_nan a && Float.is_nan b)
+  | String a, String b -> a = b
+  | List a, List b -> (
+    try List.for_all2 equal a b with Invalid_argument _ -> false)
+  | Obj a, Obj b -> (
+    try List.for_all2 (fun (k, v) (k', v') -> k = k' && equal v v') a b
+    with Invalid_argument _ -> false)
+  | (Null | Bool _ | Int _ | Float _ | String _ | List _ | Obj _), _ -> false
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | Null | Bool _ | Int _ | Float _ | String _ | List _ -> None
+
+let to_int = function Int n -> Some n | _ -> None
+let to_float = function Float f -> Some f | Int n -> Some (float_of_int n) | _ -> None
+let to_str = function String s -> Some s | _ -> None
+let to_list = function List xs -> Some xs | _ -> None

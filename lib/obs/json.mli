@@ -1,0 +1,36 @@
+(** Minimal JSON for telemetry artifacts: a printer whose output the
+    parser reproduces exactly (Int and Float stay distinct; Float
+    prints with enough digits to round-trip), with no dependency
+    outside the stdlib.  Objects are association lists in insertion
+    order. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+val to_buffer : Buffer.t -> t -> unit
+
+val of_string : string -> t
+(** Raises {!Parse_error} on malformed input or trailing garbage. *)
+
+val equal : t -> t -> bool
+(** Structural equality; Obj fields compare in order; NaN = NaN. *)
+
+(** {2 Accessors} — shallow, [None] on shape mismatch *)
+
+val member : string -> t -> t option
+val to_int : t -> int option
+
+val to_float : t -> float option
+(** Also accepts Int (common for whole-valued measurements). *)
+
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -1,6 +1,7 @@
-/* Monotonic clock for resource budgets: CLOCK_MONOTONIC is immune to
-   NTP steps and manual clock changes, which would otherwise spuriously
-   kill (or indefinitely extend) a budgeted verification run. */
+/* Monotonic clock for telemetry timestamps and resource budgets:
+   CLOCK_MONOTONIC is immune to NTP steps and manual clock changes,
+   which would otherwise spuriously kill (or indefinitely extend) a
+   budgeted verification run and scramble span durations. */
 
 #include <caml/mlvalues.h>
 #include <caml/alloc.h>

@@ -1,0 +1,162 @@
+(* Metrics registry: named counters, gauges and log2-bucketed
+   histograms.  Updates are plain mutable-field writes — the whole
+   system is single-domain, so there is no atomics tax on the hot
+   paths that report into it (BDD cache lookups, policy scoring,
+   tautology filters).
+
+   Handles are interned by name: [counter reg "x"] always returns the
+   same cell, so instrument sites can re-resolve by name without
+   threading handles around.  A handle stays valid across [reset]
+   (reset zeroes values, it does not drop cells). *)
+
+type counter = { c_name : string; mutable count : int }
+type gauge = { g_name : string; mutable value : float }
+
+(* Histogram of nonnegative ints, bucketed by bit length: bucket [i]
+   counts observations [v] with [2^(i-1) <= v < 2^i] (bucket 0 counts
+   v = 0).  63 buckets cover the whole OCaml int range. *)
+type histogram = {
+  h_name : string;
+  buckets : int array;
+  mutable h_count : int;
+  mutable sum : int;
+  mutable max : int;
+}
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+  (* Names in first-registration order, so snapshots render stably. *)
+  mutable order : string list;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 64;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+    order = [];
+  }
+
+(* The process-wide default registry.  Everything instruments against
+   this unless handed an explicit registry; [icv --stats] and the bench
+   JSON snapshots read it back out. *)
+let default = create ()
+
+let intern reg tbl name make =
+  match Hashtbl.find_opt tbl name with
+  | Some cell -> cell
+  | None ->
+    let cell = make name in
+    Hashtbl.replace tbl name cell;
+    reg.order <- name :: reg.order;
+    cell
+
+let counter reg name =
+  intern reg reg.counters name (fun c_name -> { c_name; count = 0 })
+
+let gauge reg name =
+  intern reg reg.gauges name (fun g_name -> { g_name; value = 0.0 })
+
+let histogram reg name =
+  intern reg reg.histograms name (fun h_name ->
+      { h_name; buckets = Array.make 63 0; h_count = 0; sum = 0; max = 0 })
+
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let count c = c.count
+let counter_name c = c.c_name
+
+let set g v = g.value <- v
+let set_max g v = if v > g.value then g.value <- v
+let value g = g.value
+let gauge_name g = g.g_name
+
+(* Bit length of [v]: bucket [i] covers [2^(i-1), 2^i). *)
+let bucket_of v =
+  let b = ref 0 and v = ref v in
+  while !v > 0 do
+    b := !b + 1;
+    v := !v lsr 1
+  done;
+  !b
+
+let observe h v =
+  let v = if v < 0 then 0 else v in
+  let b = bucket_of v in
+  h.buckets.(b) <- h.buckets.(b) + 1;
+  h.h_count <- h.h_count + 1;
+  h.sum <- h.sum + v;
+  if v > h.max then h.max <- v
+
+let histogram_name h = h.h_name
+let histogram_count h = h.h_count
+let histogram_sum h = h.sum
+let histogram_max h = h.max
+
+let histogram_mean h =
+  if h.h_count = 0 then 0.0 else float_of_int h.sum /. float_of_int h.h_count
+
+(* Nonzero (bucket-upper-bound, count) pairs, low to high. *)
+let histogram_buckets h =
+  let acc = ref [] in
+  for i = Array.length h.buckets - 1 downto 0 do
+    if h.buckets.(i) > 0 then
+      let upper = if i = 0 then 0 else 1 lsl i in
+      acc := (upper, h.buckets.(i)) :: !acc
+  done;
+  !acc
+
+let reset reg =
+  Hashtbl.iter (fun _ c -> c.count <- 0) reg.counters;
+  Hashtbl.iter (fun _ g -> g.value <- 0.0) reg.gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.buckets 0 (Array.length h.buckets) 0;
+      h.h_count <- 0;
+      h.sum <- 0;
+      h.max <- 0)
+    reg.histograms
+
+type entry =
+  | Counter of string * int
+  | Gauge of string * float
+  | Histogram of string * int * int * int * (int * int) list
+      (** name, count, sum, max, buckets *)
+
+let snapshot reg =
+  List.filter_map
+    (fun name ->
+      match Hashtbl.find_opt reg.counters name with
+      | Some c -> Some (Counter (name, c.count))
+      | None -> (
+        match Hashtbl.find_opt reg.gauges name with
+        | Some g -> Some (Gauge (name, g.value))
+        | None ->
+          Hashtbl.find_opt reg.histograms name
+          |> Option.map (fun h ->
+                 Histogram (name, h.h_count, h.sum, h.max, histogram_buckets h))))
+    (List.rev reg.order)
+
+let to_json reg =
+  Json.Obj
+    (List.map
+       (function
+         | Counter (name, n) -> (name, Json.Int n)
+         | Gauge (name, v) -> (name, Json.Float v)
+         | Histogram (name, count, sum, max, buckets) ->
+           ( name,
+             Json.Obj
+               [
+                 ("count", Json.Int count);
+                 ("sum", Json.Int sum);
+                 ("max", Json.Int max);
+                 ( "buckets",
+                   Json.List
+                     (List.map
+                        (fun (upper, n) ->
+                          Json.List [ Json.Int upper; Json.Int n ])
+                        buckets) );
+               ] ))
+       (snapshot reg))

@@ -1,0 +1,69 @@
+(** Metrics registry: named counters, gauges and log2-bucketed
+    histograms with plain (atomic-free, single-domain) updates.
+
+    Handles are interned by name — [counter reg "x"] always returns the
+    same cell — so instrument sites may re-resolve by name instead of
+    threading handles.  [reset] zeroes values but keeps cells valid. *)
+
+type t
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry every built-in instrument reports into;
+    [icv --stats] and the bench snapshots read it back out. *)
+
+(** {2 Handles} *)
+
+val counter : t -> string -> counter
+val gauge : t -> string -> gauge
+val histogram : t -> string -> histogram
+
+(** {2 Updates — hot-path safe} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set : gauge -> float -> unit
+
+val set_max : gauge -> float -> unit
+(** Raise the gauge to [v] if below it (peak tracking). *)
+
+val observe : histogram -> int -> unit
+(** Record a nonnegative sample into its log2 bucket: bucket [i] counts
+    samples in [2^(i-1), 2^i); negatives clamp to 0. *)
+
+(** {2 Reads} *)
+
+val count : counter -> int
+val counter_name : counter -> string
+val value : gauge -> float
+val gauge_name : gauge -> string
+val histogram_name : histogram -> string
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> int
+val histogram_max : histogram -> int
+val histogram_mean : histogram -> float
+
+val histogram_buckets : histogram -> (int * int) list
+(** Nonzero [(bucket_upper_bound, count)] pairs, ascending. *)
+
+(** {2 Snapshots} *)
+
+type entry =
+  | Counter of string * int
+  | Gauge of string * float
+  | Histogram of string * int * int * int * (int * int) list
+      (** name, count, sum, max, buckets *)
+
+val snapshot : t -> entry list
+(** All entries in first-registration order. *)
+
+val to_json : t -> Json.t
+(** Snapshot as one JSON object keyed by metric name. *)
+
+val reset : t -> unit
+(** Zero every metric; existing handles remain valid. *)

@@ -1,0 +1,90 @@
+(* Post-run summary rendering: a table of the registry's top counters
+   and a per-iteration breakdown from the iteration log.  Pure
+   formatting — no state of its own. *)
+
+let hr ppf width = Format.fprintf ppf "%s@." (String.make width '-')
+
+(* Group metric names by their first dotted component so related
+   counters ("bdd.cache", "taut", "policy" families) print together. *)
+let group_of name =
+  match String.index_opt name '.' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let pp_entry ppf = function
+  | Registry.Counter (name, n) -> Format.fprintf ppf "  %-42s %12d@." name n
+  | Registry.Gauge (name, v) ->
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Format.fprintf ppf "  %-42s %12.0f@." name v
+    else Format.fprintf ppf "  %-42s %12.3f@." name v
+  | Registry.Histogram (name, count, sum, max, _) ->
+    let mean = if count = 0 then 0.0 else float_of_int sum /. float_of_int count in
+    Format.fprintf ppf "  %-42s %12d  mean %.1f  max %d@." name count mean max
+
+let entry_is_zero = function
+  | Registry.Counter (_, 0) -> true
+  | Registry.Gauge (_, v) -> v = 0.0
+  | Registry.Histogram (_, 0, _, _, _) -> true
+  | Registry.Counter _ | Registry.Histogram _ -> false
+
+let entry_name = function
+  | Registry.Counter (name, _)
+  | Registry.Gauge (name, _)
+  | Registry.Histogram (name, _, _, _, _) -> name
+
+let pp ?(max_rows = 60) ppf reg =
+  let entries =
+    Registry.snapshot reg |> List.filter (fun e -> not (entry_is_zero e))
+  in
+  if entries = [] then Format.fprintf ppf "telemetry: no metrics recorded@."
+  else begin
+    Format.fprintf ppf "@.telemetry summary@.";
+    hr ppf 70;
+    (* Stable sort by group keeps registration order within a group. *)
+    let entries =
+      List.stable_sort
+        (fun a b -> compare (group_of (entry_name a)) (group_of (entry_name b)))
+        entries
+    in
+    let shown = ref 0 in
+    let last_group = ref "" in
+    List.iter
+      (fun e ->
+        if !shown < max_rows then begin
+          let g = group_of (entry_name e) in
+          if g <> !last_group then begin
+            if !last_group <> "" then Format.fprintf ppf "@.";
+            last_group := g
+          end;
+          pp_entry ppf e;
+          incr shown
+        end)
+      entries;
+    let total = List.length entries in
+    if total > max_rows then
+      Format.fprintf ppf "  ... %d more (all appear in JSON snapshots)@."
+        (total - max_rows);
+    hr ppf 70
+  end
+
+let pp_iterations ppf rows =
+  match rows with
+  | [] -> ()
+  | rows ->
+    Format.fprintf ppf "@.per-iteration breakdown@.";
+    hr ppf 70;
+    Format.fprintf ppf "  %-6s %5s %9s %10s %10s %11s@." "meth" "iter"
+      "conjuncts" "nodes" "elapsed_s" "live_nodes";
+    List.iter
+      (fun r ->
+        Format.fprintf ppf "  %-6s %5d %9d %10d %10.3f %11d@."
+          r.Iterlog.meth r.Iterlog.iteration r.Iterlog.conjuncts
+          r.Iterlog.nodes r.Iterlog.elapsed_s r.Iterlog.live_nodes)
+      rows;
+    hr ppf 70
+
+let print ?max_rows reg rows =
+  let ppf = Format.std_formatter in
+  pp ?max_rows ppf reg;
+  pp_iterations ppf rows;
+  Format.pp_print_flush ppf ()

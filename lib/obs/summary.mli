@@ -1,0 +1,12 @@
+(** Post-run summary rendering: top-counter table grouped by metric
+    prefix, and a per-iteration breakdown table. *)
+
+val pp : ?max_rows:int -> Format.formatter -> Registry.t -> unit
+(** Render nonzero metrics grouped by their first dotted name component
+    (at most [max_rows], default 60). *)
+
+val pp_iterations : Format.formatter -> Iterlog.row list -> unit
+(** Render the per-iteration breakdown; prints nothing for []. *)
+
+val print : ?max_rows:int -> Registry.t -> Iterlog.row list -> unit
+(** Both tables to stdout. *)

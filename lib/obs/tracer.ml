@@ -1,0 +1,167 @@
+(* Span-based structured tracer.  [with_span] times a region on the
+   monotonic clock and reports a completed span to every installed
+   sink; [instant] reports a point event.  With no sinks installed the
+   cost is two physical-equality checks, so instrumentation can stay in
+   the fixpoint loops unconditionally.
+
+   Two sinks ship: a JSONL writer (one event object per line, trivially
+   greppable and machine-parseable) and a Chrome trace_event exporter
+   ("ph":"X" complete events, microsecond timestamps) that loads
+   directly in chrome://tracing and Perfetto. *)
+
+type span = {
+  name : string;
+  cat : string;
+  ts_ns : int64;  (* start, monotonic *)
+  dur_ns : int64;
+  args : (string * Json.t) list;
+}
+
+type instant = {
+  i_name : string;
+  i_cat : string;
+  i_ts_ns : int64;
+  i_args : (string * Json.t) list;
+}
+
+type sink = {
+  on_span : span -> unit;
+  on_instant : instant -> unit;
+  flush : unit -> unit;
+}
+
+type t = { mutable sinks : sink list; epoch_ns : int64 }
+
+let create () = { sinks = []; epoch_ns = Clock.now_ns () }
+
+(* The disabled tracer: shared, sinkless, and the default global. *)
+let disabled = create ()
+
+let add_sink t sink = t.sinks <- t.sinks @ [ sink ]
+let enabled t = t.sinks <> []
+
+let the_tracer = ref disabled
+let global () = !the_tracer
+let set_global t = the_tracer := t
+
+let no_args () = []
+
+let emit_span t ~name ~cat ~args ~ts_ns ~dur_ns =
+  let span = { name; cat; ts_ns; dur_ns; args = args () } in
+  List.iter (fun s -> s.on_span span) t.sinks
+
+let with_span t ?(cat = "icv") ?(args = no_args) name f =
+  if t.sinks == [] then f ()
+  else begin
+    let ts_ns = Clock.now_ns () in
+    (* Fun.protect: a span that ends by exception (budget exceeded,
+       fuel exhausted) still closes, so traces of killed runs load. *)
+    Fun.protect
+      ~finally:(fun () ->
+        let dur_ns = Int64.sub (Clock.now_ns ()) ts_ns in
+        emit_span t ~name ~cat ~args ~ts_ns ~dur_ns)
+      f
+  end
+
+let instant t ?(cat = "icv") ?(args = no_args) name =
+  if t.sinks != [] then begin
+    let ev =
+      { i_name = name; i_cat = cat; i_ts_ns = Clock.now_ns (); i_args = args () }
+    in
+    List.iter (fun s -> s.on_instant ev) t.sinks
+  end
+
+let flush t = List.iter (fun s -> s.flush ()) t.sinks
+
+(* Microseconds relative to the tracer's epoch, as a float to keep
+   sub-microsecond resolution in Perfetto's timeline. *)
+let rel_us epoch ns = Int64.to_float (Int64.sub ns epoch) /. 1e3
+
+let args_json = function
+  | [] -> []
+  | args -> [ ("args", Json.Obj args) ]
+
+(* --- JSONL sink ------------------------------------------------------ *)
+
+let flush_out oc = try Stdlib.flush oc with Sys_error _ -> ()
+
+let jsonl_sink t oc =
+  let line j =
+    output_string oc (Json.to_string j);
+    output_char oc '\n'
+  in
+  {
+    on_span =
+      (fun s ->
+        line
+          (Json.Obj
+             ([
+                ("type", Json.String "span");
+                ("name", Json.String s.name);
+                ("cat", Json.String s.cat);
+                ("ts_us", Json.Float (rel_us t.epoch_ns s.ts_ns));
+                ("dur_us", Json.Float (Int64.to_float s.dur_ns /. 1e3));
+              ]
+             @ args_json s.args)));
+    on_instant =
+      (fun i ->
+        line
+          (Json.Obj
+             ([
+                ("type", Json.String "instant");
+                ("name", Json.String i.i_name);
+                ("cat", Json.String i.i_cat);
+                ("ts_us", Json.Float (rel_us t.epoch_ns i.i_ts_ns));
+              ]
+             @ args_json i.i_args)));
+    flush = (fun () -> flush_out oc);
+  }
+
+(* --- Chrome trace_event sink ----------------------------------------- *)
+
+(* Streams a JSON array of trace events.  Events are written as they
+   complete ("ph":"X" with ts+dur), so nesting is reconstructed by the
+   viewer from timestamps; [flush] closes the array. *)
+let chrome_sink t oc =
+  let first = ref true in
+  let closed = ref false in
+  output_string oc "[\n";
+  let event fields =
+    if not !closed then begin
+      if !first then first := false else output_string oc ",\n";
+      output_string oc (Json.to_string (Json.Obj fields))
+    end
+  in
+  let common name cat ts_ns =
+    [
+      ("name", Json.String name);
+      ("cat", Json.String cat);
+      ("ts", Json.Float (rel_us t.epoch_ns ts_ns));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+    ]
+  in
+  {
+    on_span =
+      (fun s ->
+        event
+          (common s.name s.cat s.ts_ns
+          @ [
+              ("ph", Json.String "X");
+              ("dur", Json.Float (Int64.to_float s.dur_ns /. 1e3));
+            ]
+          @ args_json s.args));
+    on_instant =
+      (fun i ->
+        event
+          (common i.i_name i.i_cat i.i_ts_ns
+          @ [ ("ph", Json.String "i"); ("s", Json.String "t") ]
+          @ args_json i.i_args));
+    flush =
+      (fun () ->
+        if not !closed then begin
+          closed := true;
+          output_string oc "\n]\n";
+          flush_out oc
+        end);
+  }

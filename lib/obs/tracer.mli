@@ -1,0 +1,69 @@
+(** Span-based structured tracer with pluggable sinks.
+
+    [with_span] times a region on the monotonic clock and reports a
+    completed span to every sink; with no sinks installed the overhead
+    is a physical-equality check, so instrumentation stays in hot loops
+    unconditionally.  Spans close even when the region raises. *)
+
+type t
+
+type span = {
+  name : string;
+  cat : string;
+  ts_ns : int64;  (** start, monotonic *)
+  dur_ns : int64;
+  args : (string * Json.t) list;
+}
+
+type instant = {
+  i_name : string;
+  i_cat : string;
+  i_ts_ns : int64;
+  i_args : (string * Json.t) list;
+}
+
+type sink = {
+  on_span : span -> unit;
+  on_instant : instant -> unit;
+  flush : unit -> unit;
+}
+
+val create : unit -> t
+(** A fresh tracer; its epoch (timestamp zero for sinks) is now. *)
+
+val disabled : t
+(** The shared sinkless tracer; [with_span disabled _ f] is just [f ()]. *)
+
+val add_sink : t -> sink -> unit
+val enabled : t -> bool
+
+val global : unit -> t
+(** The process-wide tracer used by built-in instrumentation;
+    [disabled] until [set_global]. *)
+
+val set_global : t -> unit
+
+val with_span :
+  t -> ?cat:string -> ?args:(unit -> (string * Json.t) list) -> string ->
+  (unit -> 'a) -> 'a
+(** Run the thunk inside a named span.  [args] is only evaluated when a
+    sink is installed, so argument construction is free when tracing is
+    off. *)
+
+val instant :
+  t -> ?cat:string -> ?args:(unit -> (string * Json.t) list) -> string -> unit
+(** Report a point event (e.g. a GC cache trim). *)
+
+val flush : t -> unit
+(** Flush every sink; the Chrome sink closes its JSON array here, so
+    call this before exiting. *)
+
+val jsonl_sink : t -> out_channel -> sink
+(** One JSON object per line: [{"type":"span"|"instant","name":…,"cat":…,
+    "ts_us":…,"dur_us":…,"args":{…}}].  Timestamps are microseconds
+    relative to the tracer's epoch. *)
+
+val chrome_sink : t -> out_channel -> sink
+(** Chrome [trace_event] array ("ph":"X" complete events, microsecond
+    timestamps) loadable in chrome://tracing and Perfetto.  [flush]
+    closes the array. *)

@@ -130,6 +130,45 @@ let test_stats () =
   Bdd.gc man;
   Alcotest.(check bool) "peak recorded" true (Bdd.peak_live_nodes man >= 4)
 
+(* Repeating an operation must hit its memo cache: the second run of
+   each op re-asks the cache questions the first run answered. *)
+let test_cache_stats () =
+  let man, vars = Testutil.fresh_man 8 in
+  let v i = Bdd.var man vars.(i) in
+  let parity = List.init 8 v |> List.fold_left (Bdd.bxor man) (Bdd.fls man) in
+  let vs = Bdd.varset man [ vars.(0); vars.(1) ] in
+  let care = Bdd.bor man (v 2) (v 3) in
+  let workload () =
+    ignore (Bdd.band man parity (v 5));
+    ignore (Bdd.exists man vs parity);
+    ignore (Bdd.and_exists man vs parity (v 6));
+    ignore (Bdd.restrict man parity care);
+    ignore (Bdd.constrain man parity care);
+    ignore (Bdd.cofactor man ~lvl:vars.(4) ~value:true parity)
+  in
+  workload ();
+  workload ();
+  let stats = Bdd.cache_stats man in
+  Alcotest.(check int) "eight caches" 8 (List.length stats);
+  List.iter
+    (fun name ->
+      let _, hits, misses = List.find (fun (n, _, _) -> n = name) stats in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s cache hit (h=%d m=%d)" name hits misses)
+        true (hits > 0))
+    [ "ite"; "exists"; "and_exists"; "restrict"; "constrain"; "cofactor" ];
+  (* The repeated ops themselves answer from cache without a miss. *)
+  let hits_of n =
+    let _, h, _ = List.find (fun (n', _, _) -> n' = n) stats in
+    h
+  in
+  let before = hits_of "ite" in
+  ignore (Bdd.band man parity (v 5));
+  let _, after, _ =
+    List.find (fun (n, _, _) -> n = "ite") (Bdd.cache_stats man)
+  in
+  Alcotest.(check bool) "repeat is pure hits" true (after > before)
+
 let test_dot_output () =
   let man, vars = Testutil.fresh_man 2 in
   let f = Bdd.bxor man (Bdd.var man vars.(0)) (Bdd.var man vars.(1)) in
@@ -700,6 +739,8 @@ let () =
           Alcotest.test_case "sat_count" `Quick test_sat_count_unit;
           Alcotest.test_case "pick_minterm" `Quick test_pick_minterm_unit;
           Alcotest.test_case "stats counters" `Quick test_stats;
+          Alcotest.test_case "cache hit/miss counters" `Quick
+            test_cache_stats;
           Alcotest.test_case "dot export" `Quick test_dot_output;
           Alcotest.test_case "serialize roundtrip" `Quick
             test_serialize_roundtrip;

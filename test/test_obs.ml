@@ -1,0 +1,381 @@
+(* Tests for the obs telemetry subsystem: JSON round-trips, the metrics
+   registry, the span tracer's two sinks, the iteration log, and an
+   end-to-end run of a real model with the global tracer installed. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* --- Json ------------------------------------------------------------ *)
+
+let roundtrip j = Obs.Json.of_string (Obs.Json.to_string j)
+
+let test_json_roundtrip () =
+  let cases =
+    Obs.Json.
+      [
+        Null;
+        Bool true;
+        Bool false;
+        Int 0;
+        Int (-42);
+        Int max_int;
+        Float 0.0;
+        Float 1.5;
+        Float (-0.0001);
+        Float 1e300;
+        Float 0.1;
+        String "";
+        String "plain";
+        String "esc \" \\ \n \t \r \b \012 \x00 end";
+        String "unicode: \xc3\xa9\xe2\x82\xac";
+        List [];
+        List [ Int 1; String "two"; Null ];
+        Obj [];
+        Obj [ ("a", Int 1); ("b", List [ Bool false ]); ("c", Obj []) ];
+      ]
+  in
+  List.iter
+    (fun j ->
+      check
+        (Printf.sprintf "round-trip %s" (Obs.Json.to_string j))
+        true
+        (Obs.Json.equal j (roundtrip j)))
+    cases;
+  (* Int and Float must stay distinct through the trip. *)
+  (match roundtrip (Obs.Json.Int 3) with
+  | Obs.Json.Int 3 -> ()
+  | _ -> Alcotest.fail "Int 3 did not come back as Int");
+  match roundtrip (Obs.Json.Float 3.0) with
+  | Obs.Json.Float 3.0 -> ()
+  | _ -> Alcotest.fail "Float 3.0 did not come back as Float"
+
+let test_json_parse_errors () =
+  let bad = [ ""; "{"; "[1,"; "treu"; "1 2"; "{\"a\":}"; "\"unterminated" ] in
+  List.iter
+    (fun s ->
+      match Obs.Json.of_string s with
+      | _ -> Alcotest.fail (Printf.sprintf "parsed malformed %S" s)
+      | exception Obs.Json.Parse_error _ -> ())
+    bad
+
+let test_json_accessors () =
+  let j =
+    Obs.Json.of_string {|{"n": 7, "x": 2.5, "s": "hi", "l": [1,2], "z": null}|}
+  in
+  let member k = Option.get (Obs.Json.member k j) in
+  check_int "n" 7 (Option.get (Obs.Json.to_int (member "n")));
+  check "x" true (Obs.Json.to_float (member "x") = Some 2.5);
+  (* to_float also accepts Int. *)
+  check "n as float" true (Obs.Json.to_float (member "n") = Some 7.0);
+  check_str "s" "hi" (Option.get (Obs.Json.to_str (member "s")));
+  check_int "l len" 2 (List.length (Option.get (Obs.Json.to_list (member "l"))));
+  check "missing" true (Obs.Json.member "nope" j = None)
+
+(* --- Registry -------------------------------------------------------- *)
+
+let test_registry_counters () =
+  let reg = Obs.Registry.create () in
+  let c = Obs.Registry.counter reg "test.count" in
+  check_int "fresh" 0 (Obs.Registry.count c);
+  Obs.Registry.incr c;
+  Obs.Registry.add c 4;
+  check_int "after" 5 (Obs.Registry.count c);
+  (* Handles are interned by name. *)
+  Obs.Registry.incr (Obs.Registry.counter reg "test.count");
+  check_int "interned" 6 (Obs.Registry.count c);
+  let g = Obs.Registry.gauge reg "test.gauge" in
+  Obs.Registry.set g 2.0;
+  Obs.Registry.set_max g 1.0;
+  check "set_max keeps peak" true (Obs.Registry.value g = 2.0);
+  Obs.Registry.set_max g 9.0;
+  check "set_max raises" true (Obs.Registry.value g = 9.0);
+  Obs.Registry.reset reg;
+  check_int "reset counter" 0 (Obs.Registry.count c);
+  check "reset gauge" true (Obs.Registry.value g = 0.0);
+  Obs.Registry.incr c;
+  check_int "handle valid after reset" 1 (Obs.Registry.count c)
+
+let test_registry_histogram () =
+  let reg = Obs.Registry.create () in
+  let h = Obs.Registry.histogram reg "test.hist" in
+  List.iter (Obs.Registry.observe h) [ 0; 1; 2; 3; 4; 1000; -5 ];
+  check_int "count" 7 (Obs.Registry.histogram_count h);
+  (* negative clamps to 0 *)
+  check_int "sum" (0 + 1 + 2 + 3 + 4 + 1000 + 0) (Obs.Registry.histogram_sum h);
+  check_int "max" 1000 (Obs.Registry.histogram_max h);
+  let buckets = Obs.Registry.histogram_buckets h in
+  check "buckets ascending" true
+    (let uppers = List.map fst buckets in
+     List.sort compare uppers = uppers);
+  check_int "bucket total" 7 (List.fold_left (fun a (_, n) -> a + n) 0 buckets);
+  (* log2 buckets: 1 lands in (upper 1), 2 and 3 in (upper 4)? — pin the
+     documented rule instead: bucket i counts [2^(i-1), 2^i), so sample
+     s>0 lands in the bucket whose upper bound is the smallest power of
+     two strictly greater than s. *)
+  List.iter
+    (fun s ->
+      let expected_upper =
+        if s <= 0 then 0
+        else begin
+          let u = ref 1 in
+          while !u <= s do
+            u := !u * 2
+          done;
+          !u
+        end
+      in
+      let found =
+        List.exists (fun (upper, n) -> upper = expected_upper && n > 0) buckets
+      in
+      check (Printf.sprintf "sample %d bucketed at %d" s expected_upper) true
+        found)
+    [ 1; 2; 3; 4; 1000 ]
+
+let test_registry_snapshot () =
+  let reg = Obs.Registry.create () in
+  Obs.Registry.incr (Obs.Registry.counter reg "b.second");
+  Obs.Registry.incr (Obs.Registry.counter reg "a.first");
+  Obs.Registry.set (Obs.Registry.gauge reg "c.gauge") 1.5;
+  let names =
+    List.map
+      (function
+        | Obs.Registry.Counter (n, _) -> n
+        | Obs.Registry.Gauge (n, _) -> n
+        | Obs.Registry.Histogram (n, _, _, _, _) -> n)
+      (Obs.Registry.snapshot reg)
+  in
+  Alcotest.(check (list string))
+    "first-registration order"
+    [ "b.second"; "a.first"; "c.gauge" ]
+    names;
+  (* to_json must itself round-trip (bench artifacts embed it). *)
+  let j = Obs.Registry.to_json reg in
+  check "to_json round-trips" true (Obs.Json.equal j (roundtrip j))
+
+(* --- Tracer ---------------------------------------------------------- *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "icv-test-obs" ".json" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | l -> go (l :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let test_tracer_disabled () =
+  (* The sinkless fast path still runs the thunk and returns its value;
+     args must not be evaluated. *)
+  let evaluated = ref false in
+  let r =
+    Obs.Tracer.with_span Obs.Tracer.disabled
+      ~args:(fun () ->
+        evaluated := true;
+        [])
+      "noop"
+      (fun () -> 41 + 1)
+  in
+  check_int "value through disabled span" 42 r;
+  check "args not evaluated" false !evaluated;
+  check "disabled is disabled" false (Obs.Tracer.enabled Obs.Tracer.disabled)
+
+let test_tracer_jsonl () =
+  with_temp_file (fun path ->
+      let tracer = Obs.Tracer.create () in
+      let oc = open_out path in
+      Obs.Tracer.add_sink tracer (Obs.Tracer.jsonl_sink tracer oc);
+      let r =
+        Obs.Tracer.with_span tracer ~cat:"test"
+          ~args:(fun () -> [ ("k", Obs.Json.Int 7) ])
+          "outer"
+          (fun () ->
+            Obs.Tracer.instant tracer "tick";
+            (* spans close even when the region raises *)
+            (try
+               Obs.Tracer.with_span tracer "raiser" (fun () ->
+                   raise Exit)
+             with Exit -> ());
+            "done")
+      in
+      Obs.Tracer.flush tracer;
+      close_out oc;
+      check_str "span result" "done" r;
+      let lines = read_lines path in
+      check_int "three events" 3 (List.length lines);
+      let parsed = List.map Obs.Json.of_string lines in
+      List.iter
+        (fun j -> check "line round-trips" true (Obs.Json.equal j (roundtrip j)))
+        parsed;
+      let name j = Option.get Obs.Json.(to_str (Option.get (member "name" j))) in
+      let names = List.map name parsed in
+      check "has tick" true (List.mem "tick" names);
+      check "has raiser" true (List.mem "raiser" names);
+      check "has outer" true (List.mem "outer" names);
+      (* the outer span closes last, carries its args, and its duration
+         covers the inner one *)
+      let outer = List.find (fun j -> name j = "outer") parsed in
+      let f k j = Option.get Obs.Json.(to_float (Option.get (member k j))) in
+      let raiser = List.find (fun j -> name j = "raiser") parsed in
+      check "outer dur >= raiser dur" true (f "dur_us" outer >= f "dur_us" raiser);
+      check_int "outer args" 7
+        Obs.Json.(
+          Option.get
+            (to_int
+               (Option.get
+                  (member "k" (Option.get (member "args" outer)))))))
+
+let test_tracer_chrome () =
+  with_temp_file (fun path ->
+      let tracer = Obs.Tracer.create () in
+      let oc = open_out path in
+      Obs.Tracer.add_sink tracer (Obs.Tracer.chrome_sink tracer oc);
+      Obs.Tracer.with_span tracer "a" (fun () ->
+          Obs.Tracer.instant tracer "i");
+      Obs.Tracer.with_span tracer "b" (fun () -> ());
+      Obs.Tracer.flush tracer;
+      close_out oc;
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let content = really_input_string ic len in
+      close_in ic;
+      match Obs.Json.of_string content with
+      | Obs.Json.List events ->
+        check_int "three events" 3 (List.length events);
+        List.iter
+          (fun e ->
+            let str k = Obs.Json.(to_str (Option.get (member k e))) in
+            check "has ph" true (str "ph" = Some "X" || str "ph" = Some "i");
+            check "has pid" true (Obs.Json.member "pid" e <> None);
+            check "has ts" true (Obs.Json.member "ts" e <> None);
+            if str "ph" = Some "X" then
+              check "X has dur" true (Obs.Json.member "dur" e <> None))
+          events
+      | _ -> Alcotest.fail "chrome trace is not a JSON array")
+
+(* --- Iterlog --------------------------------------------------------- *)
+
+let test_iterlog () =
+  Obs.Iterlog.clear ();
+  Obs.Iterlog.record
+    {
+      Obs.Iterlog.meth = "XICI";
+      iteration = 1;
+      conjuncts = 3;
+      nodes = 100;
+      elapsed_s = 0.5;
+      live_nodes = 200;
+    };
+  Obs.Iterlog.record
+    {
+      Obs.Iterlog.meth = "XICI";
+      iteration = 2;
+      conjuncts = 2;
+      nodes = 80;
+      elapsed_s = 0.9;
+      live_nodes = 250;
+    };
+  check_int "two rows" 2 (List.length (Obs.Iterlog.rows ()));
+  check_int "recording order" 1
+    (List.hd (Obs.Iterlog.rows ())).Obs.Iterlog.iteration;
+  let j = Obs.Iterlog.to_json () in
+  check "json round-trips" true (Obs.Json.equal j (roundtrip j));
+  (match j with
+  | Obs.Json.List [ r1; _ ] ->
+    check_int "iteration field" 1
+      Obs.Json.(Option.get (to_int (Option.get (member "iteration" r1))))
+  | _ -> Alcotest.fail "iterlog json shape");
+  Obs.Iterlog.clear ();
+  check_int "cleared" 0 (List.length (Obs.Iterlog.rows ()))
+
+(* --- End-to-end: real verification run under the global tracer ------- *)
+
+let test_end_to_end () =
+  Obs.Iterlog.clear ();
+  Obs.Registry.reset Obs.Registry.default;
+  with_temp_file (fun path ->
+      let tracer = Obs.Tracer.create () in
+      let oc = open_out path in
+      Obs.Tracer.add_sink tracer (Obs.Tracer.jsonl_sink tracer oc);
+      Obs.Tracer.set_global tracer;
+      let model =
+        Models.Typed_fifo.make { Models.Typed_fifo.default with depth = 3 }
+      in
+      let r =
+        Fun.protect
+          ~finally:(fun () ->
+            Obs.Tracer.set_global Obs.Tracer.disabled;
+            Obs.Tracer.flush tracer;
+            close_out_noerr oc)
+          (fun () ->
+            Mc.Runner.run
+              ~limits:(Mc.Limits.start ~max_iterations:50)
+              Mc.Runner.Xici model)
+      in
+      check "proved" true (Mc.Report.is_proved r);
+      let names =
+        List.map
+          (fun l ->
+            Option.get
+              Obs.Json.(to_str (Option.get (member "name" (of_string l)))))
+          (read_lines path)
+      in
+      check "xici iteration spans present" true
+        (List.mem "xici.iteration" names);
+      check "tautology spans present" true (List.mem "taut.check" names);
+      (* registry picked up the same run *)
+      check "taut.checks counted" true
+        (Obs.Registry.count (Obs.Registry.counter Obs.Registry.default "taut.checks")
+         > 0);
+      check "iterlog fed" true (Obs.Iterlog.rows () <> []);
+      (* and the run-level snapshot both publishes bdd gauges and
+         round-trips *)
+      let snap = Mc.Telemetry.snapshot_json (Mc.Model.man model) in
+      check "snapshot round-trips" true (Obs.Json.equal snap (roundtrip snap));
+      let hits =
+        Obs.Json.(
+          member "metrics" snap
+          |> Option.get
+          |> member "bdd.cache.ite.hits"
+          |> Option.get |> to_float |> Option.get)
+      in
+      check "ite cache hits published" true (hits > 0.0));
+  Obs.Iterlog.clear ();
+  Obs.Registry.reset Obs.Registry.default
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "print/parse round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "counters and gauges" `Quick test_registry_counters;
+          Alcotest.test_case "log2 histogram" `Quick test_registry_histogram;
+          Alcotest.test_case "snapshot and json" `Quick test_registry_snapshot;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "disabled fast path" `Quick test_tracer_disabled;
+          Alcotest.test_case "jsonl sink" `Quick test_tracer_jsonl;
+          Alcotest.test_case "chrome sink" `Quick test_tracer_chrome;
+        ] );
+      ( "iterlog",
+        [ Alcotest.test_case "record/rows/json" `Quick test_iterlog ] );
+      ( "integration",
+        [
+          Alcotest.test_case "traced verification run" `Quick test_end_to_end;
+        ] );
+    ]
