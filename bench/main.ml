@@ -53,11 +53,16 @@ let with_json_artifact file f =
    paper's reported numbers. *)
 let run_row ?(label = "") budgets ?xici_cfg ?termination meth model ~paper =
   if !json_mode then Mc.Telemetry.reset ();
+  let alloc0 = Gc.allocated_bytes () in
   let r =
     Mc.Runner.run ~limits:(limits_of budgets) ?xici_cfg ?termination meth
       model
   in
-  Format.printf "  %-10s %a   [paper: %s]@.%!" label Mc.Report.pp_row r paper;
+  let allocated = Gc.allocated_bytes () -. alloc0 in
+  Format.printf "  %-10s %a   alloc=%.1fMB   [paper: %s]@.%!" label
+    Mc.Report.pp_row r
+    (allocated /. 1_048_576.)
+    paper;
   (if !json_mode then
      let row =
        match Mc.Report.to_json r with
@@ -66,6 +71,7 @@ let run_row ?(label = "") budgets ?xici_cfg ?termination meth model ~paper =
            (fields
            @ [
                ("label", Obs.Json.String label);
+               ("allocated_bytes", Obs.Json.Float allocated);
                ("telemetry", Mc.Telemetry.snapshot_json (Mc.Model.man model));
              ])
        | other -> other

@@ -68,6 +68,8 @@ let live_nodes = Man.live_nodes
 let created_nodes = Man.created_nodes
 let peak_live_nodes (man : man) = man.Man.peak_live
 let cache_stats = Man.cache_stats
+let computed_table_stats = Man.computed_table_stats
+let unique_table_stats = Man.unique_table_stats
 let gc_events = Man.gc_events
 let clear_caches = Man.clear_caches
 let gc = Man.gc
@@ -95,6 +97,20 @@ module Reorder = struct
   let greedy_adjacent = Reorder.greedy_adjacent
   let sift = Reorder.sift
   let apply = Reorder.apply
+end
+
+module Computed_table = struct
+  type table = Computed.t
+
+  let create = Computed.create
+  let absent = Computed.absent
+  let find = Computed.find
+  let store = Computed.store
+  let trim = Computed.trim
+  let clear = Computed.clear
+  let slots = Computed.slots
+  let occupied = Computed.occupied
+  let stats = Computed.stats
 end
 
 let cubes = Cubes.cubes

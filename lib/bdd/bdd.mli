@@ -27,8 +27,10 @@ type varset
 (** {1 Managers and variables} *)
 
 val create : ?cache_budget:int -> unit -> man
-(** Fresh manager.  [cache_budget] bounds the total number of memo-cache
-    entries before caches are opportunistically dropped. *)
+(** Fresh manager.  [cache_budget] caps the slot count of the shared
+    computed table (rounded down to a power of two); the table is lossy
+    -- colliding entries evict each other -- so it never grows past the
+    budget and memoisation costs no per-lookup allocation. *)
 
 val new_var : ?name:string -> man -> int
 (** Allocate the next variable level (levels are allocated in order and
@@ -172,8 +174,11 @@ val pick_minterm : man -> vars:int list -> t -> bool array
 (** {1 Statistics and memory} *)
 
 val live_nodes : man -> int
-(** Nodes currently interned (the unique table is weak: unreferenced
-    nodes disappear at the next GC). *)
+(** Nodes currently interned, from the unique table's O(1) counter.
+    The table is weak (unreferenced nodes disappear at the next GC),
+    and collected nodes are discovered lazily, so between {!gc} calls
+    this is an upper bound: it counts every node not yet observed
+    dead.  {!gc} sweeps the table and makes it exact. *)
 
 val created_nodes : man -> int
 (** Monotone count of nodes ever created; a machine-independent proxy
@@ -189,14 +194,30 @@ val cache_stats : man -> (string * int * int) list
     conjunction shares the ITE cache, so its lookups count there. *)
 
 val gc_events : man -> int
-(** Times the memo caches were dropped (budget-triggered trims plus
-    explicit {!gc}/trim calls) over the manager's lifetime. *)
+(** Times the computed table was invalidated under pressure: explicit
+    {!gc} calls plus budget-triggered trims.  (With the lossy computed
+    table the budget is enforced structurally, so budget trims only
+    occur if [cache_budget] is shrunk on a live manager; the counter
+    keeps the pre-rewrite "cache drop" semantics.) *)
 
 val clear_caches : man -> unit
+(** Invalidate every memoised result in O(1) (a generation bump: stale
+    entries silently stop matching).  Cached result edges stay
+    referenced until overwritten; use {!gc} to release them. *)
 
 val gc : man -> unit
-(** Drop memo caches and run a full OCaml GC so dead nodes leave the
-    weak unique table. *)
+(** Deep-clear the computed table (releasing its result references),
+    run a full OCaml GC, and sweep the unique table so dead nodes leave
+    it and {!live_nodes} is exact. *)
+
+val computed_table_stats : man -> (string * int) list
+(** Shared computed-table counters: [slots] (current capacity),
+    [occupied], [evictions] (stores that displaced a different entry),
+    [resizes], [trims]. *)
+
+val unique_table_stats : man -> (string * int) list
+(** Unique-table counters: [slots], [live], [tombstones], [resizes],
+    [sweeps]. *)
 
 val set_progress_hook : man -> (man -> unit) option -> unit
 (** Callback invoked every 64K node creations, even in the middle of a
@@ -291,6 +312,41 @@ module Serialize : sig
 
   val to_file : man -> string -> t list -> unit
   val of_file : ?map:(int -> int) -> man -> string -> t list
+end
+
+(** {1 Kernel internals (for tests and benchmarks)} *)
+
+(** Direct handle on the lossy computed-table implementation, exposed
+    so unit tests can exercise collisions, eviction, resizing and
+    generation invalidation on tiny standalone tables.  Verification
+    code should never need this: every operator memoises through the
+    manager's own table automatically. *)
+module Computed_table : sig
+  type table
+
+  val create : budget:int -> table
+  (** Slot count capped at the largest power of two <= [budget]
+      (minimum 64); starts small and doubles under occupancy. *)
+
+  val absent : t
+  (** The lookup-miss sentinel; compare against results with [==]. *)
+
+  val find : table -> int -> int -> int -> int -> t
+  (** [find tbl op a b c] returns the cached result or {!absent}.
+      Allocation-free. *)
+
+  val store : table -> int -> int -> int -> int -> t -> unit
+  (** Direct-mapped store; evicts whatever occupied the slot. *)
+
+  val trim : table -> unit
+  (** O(1) invalidation (generation bump). *)
+
+  val clear : table -> unit
+  (** Invalidate and drop all result references. *)
+
+  val slots : table -> int
+  val occupied : table -> int
+  val stats : table -> (string * int) list
 end
 
 (** {1 Debugging} *)

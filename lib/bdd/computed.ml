@@ -1,0 +1,170 @@
+(* The computed table: one lossy, open-addressed, direct-mapped cache
+   shared by every memoised operator (CUDD-style), replacing the eight
+   per-operator polymorphic [Hashtbl]s.
+
+   Layout: a flat [int array] of packed keys (stride 4 per slot:
+   op-tag word, then the three operand ints) plus a parallel [Repr.t]
+   array of results.  A lookup hashes the four key ints to a single
+   slot and compares four words; a store overwrites whatever lives
+   there (eviction-on-collision).  Nothing is boxed on either path, so
+   a hit costs four loads and four compares and a miss allocates
+   nothing -- correctness never depends on residency because a missed
+   entry is merely recomputed, and canonical hash-consing makes the
+   recomputed result physically identical.
+
+   Sizing is power-of-two with occupancy-driven doubling (when more
+   than half the slots are filled) up to a cap derived from the
+   manager's [cache_budget].  Invalidation ("trim") is a generation
+   bump: the current generation is packed into the op-tag word, so all
+   resident entries silently stop matching in O(1).  A trim does NOT
+   release the result edges; [clear] does (used by [Bdd.gc] so the
+   weak unique table can actually collect). *)
+
+(* Operator tags, packed into the low bits of the tag word.  Must stay
+   below [ops_width]. *)
+let op_ite = 0
+let op_band = 1 (* bounded conjunction; shares the "ite" hit/miss stats *)
+let op_exists = 2
+let op_and_exists = 3
+let op_restrict = 4
+let op_constrain = 5
+let op_cofactor = 6
+let op_rename = 7
+let op_vcompose = 8
+
+let ops_bits = 5 (* up to 32 distinct operator tags *)
+
+type t = {
+  mutable keys : int array; (* stride 4: [tagword; a; b; c] *)
+  mutable vals : Repr.t array;
+  mutable mask : int; (* slots - 1; slots is a power of two *)
+  mutable occupied : int; (* slots holding any entry (any generation) *)
+  mutable generation : int;
+  max_slots : int;
+  (* table-level counters, exported via [stats] *)
+  mutable evictions : int;
+  mutable resizes : int;
+  mutable trims : int;
+}
+
+(* The lookup-miss sentinel: a physically unique edge, distinguishable
+   from every genuine result (including the constants) by [==] alone,
+   so [find] needs no [option] box. *)
+let absent : Repr.t = { Repr.node = Repr.terminal_node; neg = false }
+
+let floor_pow2 n =
+  let rec go p = if p * 2 <= n then go (p * 2) else p in
+  go 1
+
+let create ~budget =
+  let max_slots = floor_pow2 (max budget 64) in
+  let slots = min 8192 max_slots in
+  {
+    keys = Array.make (slots * 4) (-1);
+    vals = Array.make slots absent;
+    mask = slots - 1;
+    occupied = 0;
+    generation = 0;
+    max_slots;
+    evictions = 0;
+    resizes = 0;
+    trims = 0;
+  }
+
+let slots t = t.mask + 1
+let occupied t = t.occupied
+
+(* Mixing the four key ints down to a slot index.  The constants are
+   the usual 32-bit avalanche multipliers; quality only affects the
+   eviction rate, never correctness. *)
+let[@inline] index t op a b c =
+  let h = (a * 0x9e3779b1) lxor (b * 0x85ebca6b) in
+  let h = (h lxor (c * 0xc2b2ae35)) lxor op in
+  (h lxor (h lsr 17)) land t.mask
+
+let[@inline] tagword t op = (t.generation lsl ops_bits) lor op
+
+let[@inline] find t op a b c =
+  let i = index t op a b c in
+  let k = i lsl 2 in
+  let keys = t.keys in
+  if
+    keys.(k) = tagword t op
+    && keys.(k + 1) = a
+    && keys.(k + 2) = b
+    && keys.(k + 3) = c
+  then t.vals.(i)
+  else absent
+
+(* Grow to [slots * 2], re-inserting only current-generation entries
+   (stale ones are dropped, which also releases their result edges). *)
+let resize t =
+  let old_keys = t.keys and old_vals = t.vals in
+  let old_slots = t.mask + 1 in
+  let slots = old_slots * 2 in
+  t.keys <- Array.make (slots * 4) (-1);
+  t.vals <- Array.make slots absent;
+  t.mask <- slots - 1;
+  t.occupied <- 0;
+  t.resizes <- t.resizes + 1;
+  let gen_floor = t.generation lsl ops_bits in
+  for i = 0 to old_slots - 1 do
+    let k = i lsl 2 in
+    let w = old_keys.(k) in
+    if w >= gen_floor then begin
+      (* current generation: reinsert (still direct-mapped, so a
+         same-slot pair after rehash keeps only the later one) *)
+      let a = old_keys.(k + 1)
+      and b = old_keys.(k + 2)
+      and c = old_keys.(k + 3) in
+      let j = index t (w - gen_floor) a b c in
+      let jk = j lsl 2 in
+      if t.keys.(jk) = -1 then t.occupied <- t.occupied + 1;
+      t.keys.(jk) <- w;
+      t.keys.(jk + 1) <- a;
+      t.keys.(jk + 2) <- b;
+      t.keys.(jk + 3) <- c;
+      t.vals.(j) <- old_vals.(i)
+    end
+  done
+
+let store t op a b c r =
+  if t.occupied * 2 > t.mask + 1 && t.mask + 1 < t.max_slots then resize t;
+  let i = index t op a b c in
+  let k = i lsl 2 in
+  let keys = t.keys in
+  let w = tagword t op in
+  let old = keys.(k) in
+  if old = -1 then t.occupied <- t.occupied + 1
+  else if
+    not (old = w && keys.(k + 1) = a && keys.(k + 2) = b && keys.(k + 3) = c)
+  then t.evictions <- t.evictions + 1;
+  keys.(k) <- w;
+  keys.(k + 1) <- a;
+  keys.(k + 2) <- b;
+  keys.(k + 3) <- c;
+  t.vals.(i) <- r
+
+(* O(1) invalidation: every resident entry's tag word now belongs to a
+   dead generation and can never match again.  Result edges stay
+   referenced until overwritten or [clear]ed. *)
+let trim t =
+  t.generation <- t.generation + 1;
+  t.trims <- t.trims + 1
+
+(* Deep clear: invalidate AND drop every reference, so the weak unique
+   table can collect dead nodes at the next major GC. *)
+let clear t =
+  t.generation <- t.generation + 1;
+  t.occupied <- 0;
+  Array.fill t.keys 0 (Array.length t.keys) (-1);
+  Array.fill t.vals 0 (Array.length t.vals) absent
+
+let stats t =
+  [
+    ("slots", t.mask + 1);
+    ("occupied", t.occupied);
+    ("evictions", t.evictions);
+    ("resizes", t.resizes);
+    ("trims", t.trims);
+  ]

@@ -1,14 +1,13 @@
-(* BDD manager: unique table, variable bookkeeping, memo caches and
-   statistics counters.  All node creation goes through [mk], which
-   enforces the two canonicity invariants (no redundant node, THEN edge
-   regular), so semantically equal BDDs are always physically equal. *)
+(* BDD manager: unique table, variable bookkeeping, the shared computed
+   table and statistics counters.  All node creation goes through [mk],
+   which enforces the two canonicity invariants (no redundant node, THEN
+   edge regular), so semantically equal BDDs are always physically
+   equal.
 
-module Node_set = Weak.Make (struct
-  type t = Repr.node
-
-  let equal = Repr.node_structurally_equal
-  let hash = Repr.hash_node
-end)
+   The two kernel tables live in their own modules: [Unique] (weak,
+   open-addressed, O(1) live counter) and [Computed] (lossy,
+   direct-mapped, allocation-free).  This module owns their lifecycle
+   (trim / clear / gc) and the per-operator hit/miss accounting. *)
 
 type varset = {
   vid : int;                    (* interning key within the manager *)
@@ -16,34 +15,43 @@ type varset = {
   member : bool array;          (* indexed by level, padded on demand *)
 }
 
-type cache2 = (int * int, Repr.t) Hashtbl.t
-type cache3 = (int * int * int, Repr.t) Hashtbl.t
-
-(* Per-memo-cache hit/miss accounting.  Plain mutable fields: the
-   increments sit next to Hashtbl lookups on every operator's hot path,
-   so they must cost nothing beyond a store. *)
+(* Per-operator hit/miss accounting.  Plain mutable fields: the
+   increments sit next to computed-table lookups on every operator's
+   hot path, so they must cost nothing beyond a store. *)
 type cstat = { mutable hits : int; mutable misses : int }
 
+(* Simultaneous-substitution vectors are interned by PHYSICAL equality
+   (callers reuse one array across calls and must not mutate it after
+   first use); the hash is structural over a bounded prefix, which is
+   compatible with [==] and stable because edge tags never change. *)
+module Subst_tbl = Hashtbl.Make (struct
+  type t = Repr.t option array
+
+  let equal = ( == )
+
+  let hash (a : t) =
+    let n = Array.length a in
+    let h = ref (n * 0x9e3779b1) in
+    for i = 0 to min (n - 1) 7 do
+      let v = match a.(i) with None -> -1 | Some e -> Repr.tag e in
+      h := (!h * 0x85ebca6b) lxor v
+    done;
+    !h land max_int
+end)
+
 type t = {
-  unique : Node_set.t;
+  unique : Unique.t;
+  computed : Computed.t;
   mutable next_id : int;
   mutable nvars : int;
   mutable names : string array;
   mutable created : int;        (* total nodes ever interned *)
   mutable steps : int;          (* non-cached recursion steps, all ops *)
   mutable peak_live : int;
-  mutable varsets : varset list;
+  varsets : (int list, varset) Hashtbl.t;
   mutable next_vid : int;
-  mutable perms : (int array * int) list; (* interned renamings *)
+  perms : (int array, int) Hashtbl.t; (* interned renamings *)
   mutable next_perm_id : int;
-  cache_ite : cache3;
-  cache_and_exists : cache3;
-  cache_exists : cache2;
-  cache_restrict : cache2;
-  cache_constrain : cache2;
-  cache_cofactor : cache2;
-  cache_rename : cache2;
-  cache_vcompose : cache2;
   stat_ite : cstat;
   stat_and_exists : cstat;
   stat_exists : cstat;
@@ -53,7 +61,7 @@ type t = {
   stat_rename : cstat;
   stat_vcompose : cstat;
   mutable gc_events : int;      (* cache trims + explicit gc calls *)
-  mutable vcomposes : (Repr.t option array * int) list;
+  vcomposes : int Subst_tbl.t;
   mutable next_vcompose_id : int;
   mutable cache_entries_budget : int;
   mutable progress_hook : (t -> unit) option;
@@ -64,25 +72,18 @@ let fresh_cstat () = { hits = 0; misses = 0 }
 
 let create ?(cache_budget = 2_000_000) () =
   {
-    unique = Node_set.create (1 lsl 14);
+    unique = Unique.create (1 lsl 14);
+    computed = Computed.create ~budget:cache_budget;
     next_id = 1;
     nvars = 0;
     names = [||];
     created = 0;
     steps = 0;
     peak_live = 0;
-    varsets = [];
+    varsets = Hashtbl.create 16;
     next_vid = 0;
-    perms = [];
+    perms = Hashtbl.create 16;
     next_perm_id = 0;
-    cache_ite = Hashtbl.create 4096;
-    cache_and_exists = Hashtbl.create 4096;
-    cache_exists = Hashtbl.create 1024;
-    cache_restrict = Hashtbl.create 1024;
-    cache_constrain = Hashtbl.create 256;
-    cache_cofactor = Hashtbl.create 256;
-    cache_rename = Hashtbl.create 256;
-    cache_vcompose = Hashtbl.create 1024;
     stat_ite = fresh_cstat ();
     stat_and_exists = fresh_cstat ();
     stat_exists = fresh_cstat ();
@@ -92,37 +93,28 @@ let create ?(cache_budget = 2_000_000) () =
     stat_rename = fresh_cstat ();
     stat_vcompose = fresh_cstat ();
     gc_events = 0;
-    vcomposes = [];
+    vcomposes = Subst_tbl.create 16;
     next_vcompose_id = 0;
     cache_entries_budget = cache_budget;
     progress_hook = None;
     fault_hook = None;
   }
 
-let clear_caches man =
-  Hashtbl.reset man.cache_ite;
-  Hashtbl.reset man.cache_and_exists;
-  Hashtbl.reset man.cache_exists;
-  Hashtbl.reset man.cache_restrict;
-  Hashtbl.reset man.cache_constrain;
-  Hashtbl.reset man.cache_cofactor;
-  Hashtbl.reset man.cache_rename;
-  Hashtbl.reset man.cache_vcompose
+(* O(1) invalidation of all memo state (generation bump).  Result
+   references stay resident until overwritten; use [gc] to release
+   them so the weak unique table can collect. *)
+let clear_caches man = Computed.trim man.computed
 
-(* Memo caches hold strong references to result nodes, so they must be
-   dropped periodically for the weak unique table to collect anything.
-   Called opportunistically from the operation wrappers. *)
+(* With the lossy computed table the budget is enforced structurally
+   (the table never grows past the power of two at or below the
+   budget), so the old drop-everything-and-Gc.major path is gone: an
+   over-budget occupancy -- only possible after shrinking the budget of
+   a live manager -- costs a generation bump, counted like the cache
+   drops it replaced via [gc_events]. *)
 let maybe_trim_caches man =
-  let entries =
-    Hashtbl.length man.cache_ite + Hashtbl.length man.cache_and_exists
-    + Hashtbl.length man.cache_exists + Hashtbl.length man.cache_vcompose
-    + Hashtbl.length man.cache_restrict + Hashtbl.length man.cache_constrain
-    + Hashtbl.length man.cache_cofactor + Hashtbl.length man.cache_rename
-  in
-  if entries > man.cache_entries_budget then begin
+  if Computed.occupied man.computed > man.cache_entries_budget then begin
     man.gc_events <- man.gc_events + 1;
-    clear_caches man;
-    Gc.major ()
+    Computed.trim man.computed
   end
 
 (* Bump the operation-step counter; drives the progress hook at the
@@ -136,17 +128,21 @@ let tick man =
 
 let steps man = man.steps
 
+(* O(1): the unique table maintains the counter.  Between [gc] sweeps
+   it is an upper bound (nodes not yet observed dead are counted). *)
 let live_nodes man =
-  let live = Node_set.count man.unique in
+  let live = Unique.live man.unique in
   if live > man.peak_live then man.peak_live <- live;
   live
+
 let created_nodes man = man.created
 let num_vars man = man.nvars
 
 let gc man =
   man.gc_events <- man.gc_events + 1;
-  clear_caches man;
-  Gc.full_major ()
+  Computed.clear man.computed;
+  Gc.full_major ();
+  Unique.sweep man.unique
 
 let gc_events man = man.gc_events
 
@@ -155,7 +151,7 @@ let gc_events man = man.gc_events
 let hit s = s.hits <- s.hits + 1
 let miss s = s.misses <- s.misses + 1
 
-(* (name, hits, misses) per memo cache, fixed order. *)
+(* (name, hits, misses) per memoised operator, fixed order. *)
 let cache_stats man =
   [
     ("ite", man.stat_ite.hits, man.stat_ite.misses);
@@ -168,24 +164,28 @@ let cache_stats man =
     ("vcompose", man.stat_vcompose.hits, man.stat_vcompose.misses);
   ]
 
+let computed_table_stats man = Computed.stats man.computed
+let unique_table_stats man = Unique.stats man.unique
+
 (* Interning. [hi] must be a regular (uncomplemented) reference. *)
 let intern man lvl lo lo_neg hi =
   let probe =
     { Repr.id = man.next_id; level = lvl; low = lo; low_neg = lo_neg;
       high = hi }
   in
-  let found = Node_set.merge man.unique probe in
+  let found = Unique.merge man.unique probe in
   if found == probe then begin
     man.next_id <- man.next_id + 1;
     man.created <- man.created + 1;
     (match man.fault_hook with None -> () | Some hook -> hook man);
-    (* [Node_set.count] scans the whole table, so the live-node peak is
-       sampled only every 64K insertions (and on demand).  The same
-       cadence drives the progress hook (resource-limit checks that can
-       interrupt a blown-up operation) and cache trimming. *)
+    (* The live counter is O(1), so the peak is seeded on every
+       creation (short runs no longer report a peak of 0); the 64K
+       cadence below only drives the progress hook (resource-limit
+       checks that can interrupt a blown-up operation) and the budget
+       check. *)
+    let live = Unique.live man.unique in
+    if live > man.peak_live then man.peak_live <- live;
     if man.created land 0xFFFF = 0 then begin
-      let live = Node_set.count man.unique in
-      if live > man.peak_live then man.peak_live <- live;
       maybe_trim_caches man;
       match man.progress_hook with None -> () | Some hook -> hook man
     end
@@ -233,18 +233,16 @@ let nvar man lvl = Repr.neg (var man lvl)
 
 let varset man levels =
   let levels = List.sort_uniq compare levels in
-  let arr = Array.of_list levels in
-  match
-    List.find_opt (fun vs -> vs.levels = arr) man.varsets
-  with
+  match Hashtbl.find_opt man.varsets levels with
   | Some vs -> vs
   | None ->
+    let arr = Array.of_list levels in
     let width = man.nvars in
     let member = Array.make (max width 1) false in
     Array.iter (fun l -> member.(l) <- true) arr;
     let vs = { vid = man.next_vid; levels = arr; member } in
     man.next_vid <- man.next_vid + 1;
-    man.varsets <- vs :: man.varsets;
+    Hashtbl.add man.varsets levels vs;
     vs
 
 let varset_mem vs lvl = lvl < Array.length vs.member && vs.member.(lvl)
@@ -253,14 +251,15 @@ let varset_max vs =
   let n = Array.length vs.levels in
   if n = 0 then -1 else vs.levels.(n - 1)
 
-(* Intern a renaming permutation so it can serve as a memo key. *)
+(* Intern a renaming permutation so it can serve as a memo key
+   (structural hashing: int arrays hash and compare by contents). *)
 let perm_id man perm =
-  match List.find_opt (fun (p, _) -> p = perm) man.perms with
-  | Some (_, id) -> id
+  match Hashtbl.find_opt man.perms perm with
+  | Some id -> id
   | None ->
     let id = man.next_perm_id in
     man.next_perm_id <- man.next_perm_id + 1;
-    man.perms <- (perm, id) :: man.perms;
+    Hashtbl.add man.perms (Array.copy perm) id;
     id
 
 let set_progress_hook man hook = man.progress_hook <- hook
@@ -273,14 +272,15 @@ let progress_hook man = man.progress_hook
 let set_fault_hook man hook = man.fault_hook <- hook
 
 (* Intern a simultaneous-substitution vector (compared physically: the
-   caller keeps the array alive for the duration of its use). *)
+   caller keeps the array alive -- and unmutated -- for the duration of
+   its use). *)
 let vcompose_id man subst =
-  match List.find_opt (fun (s, _) -> s == subst) man.vcomposes with
-  | Some (_, id) -> id
+  match Subst_tbl.find_opt man.vcomposes subst with
+  | Some id -> id
   | None ->
     let id = man.next_vcompose_id in
     man.next_vcompose_id <- man.next_vcompose_id + 1;
-    man.vcomposes <- (subst, id) :: man.vcomposes;
+    Subst_tbl.add man.vcomposes subst id;
     id
 
 exception Node_budget_exhausted

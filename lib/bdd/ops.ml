@@ -3,7 +3,12 @@
    The ITE normalisation below follows Brace-Rudell-Bryant: terminal
    cases first, then rewrite so that the test edge is regular and the
    first branch is regular, which maximises cache hits and lets one
-   cache entry serve an operation and its complement. *)
+   cache entry serve an operation and its complement.
+
+   Memoisation goes through the shared lossy computed table: the key is
+   the packed (op, tag, tag, tag) quadruple, a hit is four int compares
+   and a miss allocates nothing (the [absent] sentinel is compared
+   physically). *)
 
 open Repr
 
@@ -21,12 +26,14 @@ let rec ite man f g h =
   else if f.neg then ite man (neg f) h g
   else if g.neg then neg (ite man f (neg g) (neg h))
   else begin
-    let key = (tag f, tag g, tag h) in
-    match Hashtbl.find_opt man.Man.cache_ite key with
-    | Some r ->
+    let cache = man.Man.computed in
+    let a = tag f and b = tag g and c = tag h in
+    let r = Computed.find cache Computed.op_ite a b c in
+    if r != Computed.absent then begin
       Man.hit man.Man.stat_ite;
       r
-    | None ->
+    end
+    else begin
       Man.miss man.Man.stat_ite;
       Man.tick man;
       let v = min (level f) (min (level g) (level h)) in
@@ -36,8 +43,9 @@ let rec ite man f g h =
       let lo = ite man f0 g0 h0 in
       let hi = ite man f1 g1 h1 in
       let r = Man.mk man v ~low:lo ~high:hi in
-      Hashtbl.replace man.Man.cache_ite key r;
+      Computed.store cache Computed.op_ite a b c r;
       r
+    end
   end
 
 let band man f g = ite man f g fls
@@ -49,9 +57,11 @@ exception Step_budget_exhausted
    "compute the size of a result without building it / abort if it
    exceeds a bound" capability the paper lists as future work; the
    greedy evaluation policy uses it to skip hopeless pairwise
-   conjunctions.  Results are cached under a key disjoint from ITE's
-   ((min,max,-1)), so completed sub-results are shared across calls. *)
+   conjunctions.  Results live under their own op tag ([op_band]) so
+   completed sub-results are shared across calls; hits and misses are
+   accounted to the "ite" statistic it conceptually belongs to. *)
 let band_bounded man ~max_steps f g =
+  let cache = man.Man.computed in
   let steps = ref 0 in
   let rec go f g =
     if is_false f || is_false g then fls
@@ -61,12 +71,13 @@ let band_bounded man ~max_steps f g =
     else if equal f (neg g) then fls
     else begin
       let f, g = if tag f <= tag g then (f, g) else (g, f) in
-      let key = (tag f, tag g, -1) in
-      match Hashtbl.find_opt man.Man.cache_ite key with
-      | Some r ->
+      let a = tag f and b = tag g in
+      let r = Computed.find cache Computed.op_band a b 0 in
+      if r != Computed.absent then begin
         Man.hit man.Man.stat_ite;
         r
-      | None ->
+      end
+      else begin
         Man.miss man.Man.stat_ite;
         incr steps;
         if !steps > max_steps then raise Step_budget_exhausted;
@@ -74,8 +85,9 @@ let band_bounded man ~max_steps f g =
         let f0, f1 = cofactors f v in
         let g0, g1 = cofactors g v in
         let r = Man.mk man v ~low:(go f0 g0) ~high:(go f1 g1) in
-        Hashtbl.replace man.Man.cache_ite key r;
+        Computed.store cache Computed.op_band a b 0 r;
         r
+      end
     end
   in
   try Some (go f g) with Step_budget_exhausted -> None
@@ -94,6 +106,7 @@ let implies man f g = is_false (band man f (neg g))
 
 (* Restriction of [f] by fixing the variable at [lvl] to [value]. *)
 let cofactor man ~lvl ~value f =
+  let cache = man.Man.computed in
   let key_base = (lvl * 2) + Bool.to_int value in
   let rec go f =
     if level f > lvl then f
@@ -101,19 +114,21 @@ let cofactor man ~lvl ~value f =
       let f0, f1 = cofactors f lvl in
       if value then f1 else f0
     else begin
-      let key = (key_base, tag f) in
-      match Hashtbl.find_opt man.Man.cache_cofactor key with
-      | Some r ->
+      let b = tag f in
+      let r = Computed.find cache Computed.op_cofactor key_base b 0 in
+      if r != Computed.absent then begin
         Man.hit man.Man.stat_cofactor;
         r
-      | None ->
+      end
+      else begin
         Man.miss man.Man.stat_cofactor;
         Man.tick man;
         let v = level f in
         let f0, f1 = cofactors f v in
         let r = Man.mk man v ~low:(go f0) ~high:(go f1) in
-        Hashtbl.replace man.Man.cache_cofactor key r;
+        Computed.store cache Computed.op_cofactor key_base b 0 r;
         r
+      end
     end
   in
   go f
@@ -131,16 +146,18 @@ let compose man ~lvl ~by f =
    interned substitution vector.  This is how PreImage/BackImage of a
    deterministic machine avoids the relational product entirely. *)
 let vector_compose man subst f =
+  let cache = man.Man.computed in
   let sid = Man.vcompose_id man subst in
   let rec go f =
     if is_const f then f
     else begin
-      let key = (sid, tag f) in
-      match Hashtbl.find_opt man.Man.cache_vcompose key with
-      | Some r ->
+      let b = tag f in
+      let r = Computed.find cache Computed.op_vcompose sid b 0 in
+      if r != Computed.absent then begin
         Man.hit man.Man.stat_vcompose;
         r
-      | None ->
+      end
+      else begin
         Man.miss man.Man.stat_vcompose;
         Man.tick man;
         let v = level f in
@@ -152,8 +169,9 @@ let vector_compose man subst f =
           | None -> Man.var man v
         in
         let r = ite man g hi lo in
-        Hashtbl.replace man.Man.cache_vcompose key r;
+        Computed.store cache Computed.op_vcompose sid b 0 r;
         r
+      end
     end
   in
   go f

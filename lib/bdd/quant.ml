@@ -11,12 +11,14 @@ let rec exists man vs f =
   if is_const f then f
   else if level f > Man.varset_max vs then f
   else begin
-    let key = (vs.Man.vid, tag f) in
-    match Hashtbl.find_opt man.Man.cache_exists key with
-    | Some r ->
+    let cache = man.Man.computed in
+    let a = vs.Man.vid and b = tag f in
+    let r = Computed.find cache Computed.op_exists a b 0 in
+    if r != Computed.absent then begin
       Man.hit man.Man.stat_exists;
       r
-    | None ->
+    end
+    else begin
       Man.miss man.Man.stat_exists;
       Man.tick man;
       let v = level f in
@@ -30,8 +32,9 @@ let rec exists man vs f =
         else
           Man.mk man v ~low:(exists man vs f0) ~high:(exists man vs f1)
       in
-      Hashtbl.replace man.Man.cache_exists key r;
+      Computed.store cache Computed.op_exists a b 0 r;
       r
+    end
   end
 
 let forall man vs f = neg (exists man vs (neg f))
@@ -50,12 +53,14 @@ let rec and_exists man vs f g =
     if level f > Man.varset_max vs && level g > Man.varset_max vs then
       Ops.band man f g
     else begin
-      let key = (vs.Man.vid, tag f, tag g) in
-      match Hashtbl.find_opt man.Man.cache_and_exists key with
-      | Some r ->
+      let cache = man.Man.computed in
+      let a = vs.Man.vid and b = tag f and c = tag g in
+      let r = Computed.find cache Computed.op_and_exists a b c in
+      if r != Computed.absent then begin
         Man.hit man.Man.stat_and_exists;
         r
-      | None ->
+      end
+      else begin
         Man.miss man.Man.stat_and_exists;
         Man.tick man;
         let v = min (level f) (level g) in
@@ -71,7 +76,8 @@ let rec and_exists man vs f g =
             Man.mk man v ~low:(and_exists man vs f0 g0)
               ~high:(and_exists man vs f1 g1)
         in
-        Hashtbl.replace man.Man.cache_and_exists key r;
+        Computed.store cache Computed.op_and_exists a b c r;
         r
+      end
     end
   end

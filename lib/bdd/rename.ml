@@ -8,27 +8,30 @@ open Repr
 exception Not_monotone
 
 let rename man perm f =
+  let cache = man.Man.computed in
   let pid = Man.perm_id man perm in
   let map lvl = if lvl < Array.length perm then perm.(lvl) else lvl in
   let rec go bound f =
     if is_const f then f
     else begin
-      let key = ((pid * 0x10001) + 1, tag f) in
-      match Hashtbl.find_opt man.Man.cache_rename key with
-      | Some r ->
+      let b = tag f in
+      let r = Computed.find cache Computed.op_rename pid b 0 in
+      if r != Computed.absent then begin
         Man.hit man.Man.stat_rename;
         if level r <> terminal_level && level r <= bound then
           raise Not_monotone;
         r
-      | None ->
+      end
+      else begin
         Man.miss man.Man.stat_rename;
         let v = level f in
         let v' = map v in
         if v' <= bound then raise Not_monotone;
         let f0, f1 = cofactors f v in
         let r = Man.mk man v' ~low:(go v' f0) ~high:(go v' f1) in
-        Hashtbl.replace man.Man.cache_rename key r;
+        Computed.store cache Computed.op_rename pid b 0 r;
         r
+      end
     end
   in
   go (-1) f

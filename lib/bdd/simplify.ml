@@ -14,12 +14,14 @@ let rec restrict man f c =
   else if equal f c then tru
   else if equal f (neg c) then fls
   else begin
-    let key = (tag f, tag c) in
-    match Hashtbl.find_opt man.Man.cache_restrict key with
-    | Some r ->
+    let cache = man.Man.computed in
+    let a = tag f and b = tag c in
+    let r = Computed.find cache Computed.op_restrict a b 0 in
+    if r != Computed.absent then begin
       Man.hit man.Man.stat_restrict;
       r
-    | None ->
+    end
+    else begin
       Man.miss man.Man.stat_restrict;
       Man.tick man;
       let lf = level f and lc = level c in
@@ -39,8 +41,9 @@ let rec restrict man f c =
               ~high:(restrict man f1 c1)
         end
       in
-      Hashtbl.replace man.Man.cache_restrict key r;
+      Computed.store cache Computed.op_restrict a b 0 r;
       r
+    end
   end
 
 (* Simultaneous multi-BDD Restrict: simplify [f] under the care set
@@ -54,7 +57,11 @@ let rec restrict man f c =
    individually; where Restrict existentially drops a care-set-only
    variable, we drop it from each c_i separately.  Both are sound
    relaxations: they can only enlarge the effective care set, and the
-   result still agrees with [f] wherever every c_i holds. *)
+   result still agrees with [f] wherever every c_i holds.
+
+   Keys are variable-length ((tag f, [tags of cs])), so this memoises
+   through a per-call Hashtbl rather than the fixed-arity computed
+   table; the call is not on the inner verification loop. *)
 let multi_restrict man f cs =
   let cs = List.filter (fun c -> not (is_true c)) cs in
   if List.exists is_false cs then
@@ -112,12 +119,14 @@ let rec constrain man f c =
   else if equal f c then tru
   else if equal f (neg c) then fls
   else begin
-    let key = (tag f, tag c) in
-    match Hashtbl.find_opt man.Man.cache_constrain key with
-    | Some r ->
+    let cache = man.Man.computed in
+    let a = tag f and b = tag c in
+    let r = Computed.find cache Computed.op_constrain a b 0 in
+    if r != Computed.absent then begin
       Man.hit man.Man.stat_constrain;
       r
-    | None ->
+    end
+    else begin
       Man.miss man.Man.stat_constrain;
       Man.tick man;
       let v = min (level f) (level c) in
@@ -130,6 +139,7 @@ let rec constrain man f c =
           Man.mk man v ~low:(constrain man f0 c0)
             ~high:(constrain man f1 c1)
       in
-      Hashtbl.replace man.Man.cache_constrain key r;
+      Computed.store cache Computed.op_constrain a b 0 r;
       r
+    end
   end

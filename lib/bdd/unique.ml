@@ -1,0 +1,177 @@
+(* The unique table: a purpose-built, resizable, open-addressed hash
+   set of nodes, replacing the stdlib [Weak.Make] bucketed set.
+
+   Two properties the old set lacked:
+
+   - an O(1) live-node counter ([live]), instead of the full-table scan
+     [Weak.Make.count] performed on every [live_nodes] query and every
+     peak sample;
+   - linear probing over two flat arrays (an [int] array of cached
+     hashes and a parallel weak array of nodes), so a lookup touches
+     contiguous memory instead of chasing bucket lists.
+
+   GC semantics are unchanged: node storage is a [Weak.t], so nodes
+   unreachable from outside are reclaimed by the ordinary OCaml GC.  A
+   collected slot is discovered lazily -- any probe that walks over it
+   turns it into a tombstone and decrements [live] -- and eagerly by
+   [sweep] (called from [Bdd.gc] after a major collection), which
+   rescans the whole table once and makes [live] exact.  Between
+   sweeps [live] is therefore an upper bound: it counts every node not
+   yet *observed* dead.
+
+   The hash of each entry is cached in [hashes], with two reserved
+   words ([empty], [tomb]); probing compares cached hashes first and
+   dereferences the weak slot only on a hash match. *)
+
+type t = {
+  mutable hashes : int array; (* empty | tomb | cached hash (>= 0) *)
+  mutable slots : Repr.node Weak.t;
+  mutable mask : int; (* capacity - 1; capacity is a power of two *)
+  mutable live : int; (* entries not yet observed dead *)
+  mutable tombs : int;
+  mutable limit : int; (* resize when live + tombs exceeds this *)
+  mutable resizes : int;
+  mutable sweeps : int;
+}
+
+let empty = min_int
+let tomb = min_int + 1
+
+let hash_parts lvl (lo : Repr.node) lo_neg (hi : Repr.node) =
+  let h = (lvl * 0x9e3779b1) lxor ((lo.Repr.id * 2) + Bool.to_int lo_neg) in
+  ((h * 0x85ebca6b) lxor hi.Repr.id) land max_int
+
+let hash_node (n : Repr.node) =
+  hash_parts n.Repr.level n.Repr.low n.Repr.low_neg n.Repr.high
+
+let create capacity =
+  let capacity = max capacity 16 in
+  {
+    hashes = Array.make capacity empty;
+    slots = Weak.create capacity;
+    mask = capacity - 1;
+    live = 0;
+    tombs = 0;
+    limit = capacity - (capacity / 4);
+    resizes = 0;
+    sweeps = 0;
+  }
+
+let live t = t.live
+let capacity t = t.mask + 1
+
+(* Insert a node known to be absent (used by [resize]); no equality
+   checks, tombstones impossible in a fresh table. *)
+let reinsert t n =
+  let h = hash_node n in
+  let mask = t.mask in
+  let i = ref (h land mask) in
+  while t.hashes.(!i) <> empty do
+    i := (!i + 1) land mask
+  done;
+  t.hashes.(!i) <- h;
+  Weak.set t.slots !i (Some n)
+
+(* Rebuild at a capacity fitting the live population; doubles under
+   growth and merely flushes tombstones when most entries have died.
+   This is also where [live] snaps back to an exact count. *)
+let resize t =
+  let old_hashes = t.hashes and old_slots = t.slots in
+  let old_cap = t.mask + 1 in
+  (* collect survivors first so the new size can depend on them *)
+  let survivors = ref [] in
+  let n_live = ref 0 in
+  for i = 0 to old_cap - 1 do
+    if old_hashes.(i) >= 0 then
+      match Weak.get old_slots i with
+      | Some n ->
+        survivors := n :: !survivors;
+        incr n_live
+      | None -> ()
+  done;
+  let needed = max 16 (!n_live * 2) in
+  let cap = ref old_cap in
+  while !cap < needed do
+    cap := !cap * 2
+  done;
+  while !cap > 16 && !cap / 4 > needed do
+    cap := !cap / 2
+  done;
+  t.hashes <- Array.make !cap empty;
+  t.slots <- Weak.create !cap;
+  t.mask <- !cap - 1;
+  t.live <- !n_live;
+  t.tombs <- 0;
+  t.limit <- !cap - (!cap / 4);
+  t.resizes <- t.resizes + 1;
+  List.iter (reinsert t) !survivors
+
+(* Mark slot [i] (whose node has been collected) as a tombstone. *)
+let[@inline] reap t i =
+  t.hashes.(i) <- tomb;
+  t.live <- t.live - 1;
+  t.tombs <- t.tombs + 1
+
+(* Find the node structurally equal to [probe], or insert [probe].
+   Returns the canonical node either way ([== probe] iff inserted). *)
+let merge t (probe : Repr.node) =
+  let h = hash_node probe in
+  let mask = t.mask in
+  let i = ref (h land mask) in
+  let free = ref (-1) in
+  let result = ref None in
+  (try
+     while true do
+       let w = t.hashes.(!i) in
+       if w = empty then begin
+         (* absent: insert at the first reusable slot on the chain *)
+         let j = if !free >= 0 then !free else !i in
+         if t.hashes.(j) = tomb then t.tombs <- t.tombs - 1;
+         t.hashes.(j) <- h;
+         Weak.set t.slots j (Some probe);
+         t.live <- t.live + 1;
+         if t.live + t.tombs > t.limit then resize t;
+         result := Some probe;
+         raise Exit
+       end
+       else if w = tomb then begin
+         if !free < 0 then free := !i
+       end
+       else if w = h then begin
+         match Weak.get t.slots !i with
+         | Some n when Repr.node_structurally_equal n probe ->
+           result := Some n;
+           raise Exit
+         | Some _ -> ()
+         | None ->
+           reap t !i;
+           if !free < 0 then free := !i
+       end
+       else if not (Weak.check t.slots !i) then begin
+         (* opportunistic reaping keeps [live] fresh and chains short *)
+         reap t !i;
+         if !free < 0 then free := !i
+       end;
+       i := (!i + 1) land mask
+     done
+   with Exit -> ());
+  match !result with Some n -> n | None -> assert false
+
+(* Exact pass: tombstone every collected entry and make [live] exact.
+   O(capacity); called from [Bdd.gc] right after a major collection. *)
+let sweep t =
+  let cap = t.mask + 1 in
+  for i = 0 to cap - 1 do
+    if t.hashes.(i) >= 0 && not (Weak.check t.slots i) then reap t i
+  done;
+  t.sweeps <- t.sweeps + 1;
+  if t.tombs > cap / 2 then resize t
+
+let stats t =
+  [
+    ("slots", t.mask + 1);
+    ("live", t.live);
+    ("tombstones", t.tombs);
+    ("resizes", t.resizes);
+    ("sweeps", t.sweeps);
+  ]

@@ -8,21 +8,23 @@
    QCheck2's integrated shrinking: the counterexamples reported for a
    failing batch are already minimal. *)
 
-type target = Diff | Metamorph | Taut | Bddops
+type target = Diff | Metamorph | Taut | Bddops | Tinycache
 
-let all_targets = [ Diff; Metamorph; Taut; Bddops ]
+let all_targets = [ Diff; Metamorph; Taut; Bddops; Tinycache ]
 
 let target_name = function
   | Diff -> "diff"
   | Metamorph -> "metamorph"
   | Taut -> "taut"
   | Bddops -> "bddops"
+  | Tinycache -> "tinycache"
 
 let target_of_string = function
   | "diff" -> Some Diff
   | "metamorph" -> Some Metamorph
   | "taut" -> Some Taut
   | "bddops" -> Some Bddops
+  | "tinycache" -> Some Tinycache
   | _ -> None
 
 type failure = { entry : Corpus.entry; counterexamples : string list }
@@ -58,6 +60,16 @@ let test_of_target target ~count =
       ~print:(with_diag Spec.to_string (fun s -> Oracle.check_spec s))
       (Spec.gen ())
       (fun spec -> Oracle.check_spec spec = None)
+  (* Like Diff, but every method manager runs on a 256-slot computed
+     table, so eviction and generation-invalidation paths fire
+     constantly: lossy caching must still never change a verdict. *)
+  | Tinycache ->
+    QCheck2.Test.make ~count ~name
+      ~print:
+        (with_diag Spec.to_string (fun s ->
+             Oracle.check_spec ~cache_budget:256 s))
+      (Spec.gen ())
+      (fun spec -> Oracle.check_spec ~cache_budget:256 spec = None)
   | Metamorph ->
     QCheck2.Test.make ~count ~name
       ~print:(with_diag Spec.to_string (fun s -> Metamorph.check_spec s))

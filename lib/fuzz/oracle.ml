@@ -242,10 +242,10 @@ let first_some checks =
     (fun acc f -> match acc with Some _ -> acc | None -> f ())
     None checks
 
-let check_spec ?(limits = default_limits) spec =
+let check_spec ?(limits = default_limits) ?cache_budget spec =
   let expected = Spec.reference_verdict spec in
   let run_method name ?(allow_exceeded = false) f =
-    let model = Spec.build_model spec in
+    let model = Spec.build_model ?cache_budget spec in
     check_report ~expected ~allow_exceeded name model (f model)
   in
   first_some

@@ -32,9 +32,15 @@ val cleanup : string -> unit
 (** Remove the file if it exists. *)
 
 val check_spec :
-  ?limits:(Bdd.man -> Mc.Limits.t) -> Spec.t -> disagreement option
+  ?limits:(Bdd.man -> Mc.Limits.t) ->
+  ?cache_budget:int ->
+  Spec.t ->
+  disagreement option
 (** [None] when every method agrees with the reference; otherwise the
-    first disagreement found. *)
+    first disagreement found.  [cache_budget] shrinks each method
+    manager's computed table (the tinycache target passes 256 to hammer
+    eviction paths); the induction / derived-invariant / resilience
+    side checks always run on default-sized managers. *)
 
 val configs_per_spec : int
 (** Number of method configurations one {!check_spec} exercises. *)

@@ -128,8 +128,8 @@ let print_spec = to_string
 
 (* Symbolic model.  State bits first, then inputs; expression variable i
    maps to state bit i (current level) for i < n_state, else input. *)
-let build_model spec =
-  let sp = Fsm.Space.create () in
+let build_model ?cache_budget spec =
+  let sp = Fsm.Space.create ?cache_budget () in
   let bits = Array.init spec.n_state (fun _ -> Fsm.Space.state_bit sp) in
   let inputs = Array.init spec.n_input (fun _ -> Fsm.Space.input_bit sp) in
   let vars =

@@ -46,9 +46,12 @@ val to_string : t -> string
 val print_spec : t -> string
 (** Alias of {!to_string} (the [QCheck2] printer convention). *)
 
-val build_model : t -> Mc.Model.t
+val build_model : ?cache_budget:int -> t -> Mc.Model.t
 (** Fresh space/manager per call: state bits first (interleaved
-    current/next), then inputs. *)
+    current/next), then inputs.  [cache_budget] is forwarded to
+    {!Bdd.create}; tiny budgets force computed-table collisions, which
+    the tinycache fuzz target uses to prove lossy caching never changes
+    a verdict. *)
 
 val reference_verdict : t -> bool
 (** Explicit-state reference: true iff every reachable state is good. *)

@@ -34,9 +34,10 @@ let check t man =
   | Some n when Bdd.created_nodes man - t.baseline_nodes > n ->
     raise (Exceeded (Printf.sprintf "exceeded %d BDD nodes" n))
   | Some _ | None -> ());
-  (* Live nodes are the analog of the paper's resident-memory limit;
-     counting them scans the unique table, so this only fires from the
-     (sampled) progress hook and the per-iteration checks. *)
+  (* Live nodes are the analog of the paper's resident-memory limit.
+     The unique table maintains the count in O(1) (an upper bound
+     between sweeps, which is the conservative direction for a
+     budget). *)
   (match t.max_live_nodes with
   | Some n when Bdd.live_nodes man > n ->
     raise (Exceeded (Printf.sprintf "exceeded %d live BDD nodes" n))

@@ -14,6 +14,12 @@ let publish man =
       g (Printf.sprintf "bdd.cache.%s.hits" name) hits;
       g (Printf.sprintf "bdd.cache.%s.misses" name) misses)
     (Bdd.cache_stats man);
+  List.iter
+    (fun (name, v) -> g (Printf.sprintf "bdd.computed.%s" name) v)
+    (Bdd.computed_table_stats man);
+  List.iter
+    (fun (name, v) -> g (Printf.sprintf "bdd.unique.%s" name) v)
+    (Bdd.unique_table_stats man);
   g "bdd.gc_events" (Bdd.gc_events man);
   g "bdd.nodes_created" (Bdd.created_nodes man);
   g "bdd.live_nodes" (Bdd.live_nodes man);

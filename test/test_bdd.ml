@@ -423,6 +423,159 @@ let test_weak_table_gc () =
   Alcotest.(check bool) "semantics survive gc" true
     (Bdd.is_true (Bdd.biff man keep (build 0xA5)))
 
+(* --- computed / unique table internals ------------------------------- *)
+
+(* Basic integrity of the lossy computed table: a find answers with the
+   exact value stored under that exact packed key or with [absent] --
+   never with a value stored under a different key, however many
+   collisions and evictions happened in between. *)
+let test_computed_table_integrity () =
+  let man, vars = Testutil.fresh_man 8 in
+  let module C = Bdd.Computed_table in
+  let tbl = C.create ~budget:64 in
+  Alcotest.(check int) "budget caps slots" 64 (C.slots tbl);
+  (* Overfill: 200 distinct keys into 64 slots, each with a distinct
+     recognisable value. *)
+  let value i = Bdd.var man vars.(i mod 8) in
+  for i = 0 to 199 do
+    C.store tbl 0 i (i * 7) (i * 13) (value i)
+  done;
+  let survivors = ref 0 in
+  for i = 0 to 199 do
+    let r = C.find tbl 0 i (i * 7) (i * 13) in
+    if r != C.absent then begin
+      incr survivors;
+      Alcotest.(check bool)
+        (Printf.sprintf "key %d answers with its own value" i)
+        true
+        (Bdd.equal r (value i))
+    end
+  done;
+  Alcotest.(check bool) "some entries survive" true (!survivors > 0);
+  Alcotest.(check bool) "lossy: some entries evicted" true (!survivors < 200);
+  let stat n = List.assoc n (C.stats tbl) in
+  Alcotest.(check bool) "evictions counted" true (stat "evictions" > 0);
+  Alcotest.(check bool) "occupancy bounded by slots" true
+    (stat "occupied" <= C.slots tbl);
+  (* Distinct op tags index disjoint key spaces: op 1 with the same
+     operand triple is a miss. *)
+  C.store tbl 0 1000 1001 1002 (value 0);
+  Alcotest.(check bool) "same operands, other op misses" true
+    (C.find tbl 1 1000 1001 1002 == C.absent)
+
+let test_computed_table_generations () =
+  let man, vars = Testutil.fresh_man 4 in
+  let module C = Bdd.Computed_table in
+  let tbl = C.create ~budget:256 in
+  let v = Bdd.var man vars.(0) in
+  C.store tbl 2 10 20 30 v;
+  Alcotest.(check bool) "stored entry found" true
+    (Bdd.equal (C.find tbl 2 10 20 30) v);
+  C.trim tbl;
+  Alcotest.(check bool) "trim invalidates" true
+    (C.find tbl 2 10 20 30 == C.absent);
+  (* Re-storing in the new generation works, and a dead-generation slot
+     is recycled without an eviction having to be counted as data loss. *)
+  C.store tbl 2 10 20 30 v;
+  Alcotest.(check bool) "restore after trim" true
+    (Bdd.equal (C.find tbl 2 10 20 30) v);
+  C.clear tbl;
+  Alcotest.(check bool) "clear invalidates" true
+    (C.find tbl 2 10 20 30 == C.absent);
+  Alcotest.(check int) "clear empties occupancy" 0
+    (List.assoc "occupied" (C.stats tbl));
+  Alcotest.(check bool) "trims counted" true
+    (List.assoc "trims" (C.stats tbl) >= 1)
+
+let test_computed_table_resize () =
+  let man, vars = Testutil.fresh_man 2 in
+  let module C = Bdd.Computed_table in
+  (* Budget far above the 8192-slot starting size, then enough distinct
+     keys to push occupancy past half: the table must double (possibly
+     repeatedly) rather than thrash. *)
+  let tbl = C.create ~budget:100_000 in
+  Alcotest.(check int) "starts small" 8192 (C.slots tbl);
+  let v = Bdd.var man vars.(0) in
+  for i = 0 to 9_999 do
+    C.store tbl 0 i (i lxor 0x5A5A) (i * 3) v
+  done;
+  let stat n = List.assoc n (C.stats tbl) in
+  Alcotest.(check bool) "resized at least once" true (stat "resizes" >= 1);
+  Alcotest.(check bool) "grew" true (C.slots tbl > 8192);
+  Alcotest.(check bool)
+    (Printf.sprintf "stays within budget (%d slots)" (C.slots tbl))
+    true
+    (C.slots tbl <= 100_000);
+  (* Current-generation survivors must still answer correctly. *)
+  let r = C.find tbl 0 9_999 (9_999 lxor 0x5A5A) (9_999 * 3) in
+  Alcotest.(check bool) "last store survives the resizes" true
+    (r != C.absent && Bdd.equal r v)
+
+(* A manager on a tiny computed table evicts constantly; canonicity
+   must make recomputed results physically identical, so semantics
+   never change. *)
+let test_tiny_cache_semantics () =
+  let big = Bdd.create () in
+  let tiny = Bdd.create ~cache_budget:64 () in
+  let build man =
+    let vars = Array.init 10 (fun _ -> Bdd.new_var man) in
+    let v i = Bdd.var man vars.(i) in
+    let parity =
+      List.init 10 v |> List.fold_left (Bdd.bxor man) (Bdd.fls man)
+    in
+    let majority_ish =
+      Bdd.disj man
+        (List.init 8 (fun i -> Bdd.band man (v i) (v ((i + 3) mod 10))))
+    in
+    let vs = Bdd.varset man [ vars.(0); vars.(4); vars.(7) ] in
+    Bdd.sat_count ~nvars:10
+      (Bdd.band man
+         (Bdd.exists man vs (Bdd.band man parity majority_ish))
+         (Bdd.restrict man majority_ish parity))
+  in
+  Alcotest.(check (float 0.0)) "tiny cache computes the same function"
+    (build big) (build tiny);
+  let evictions = List.assoc "evictions" (Bdd.computed_table_stats tiny) in
+  Alcotest.(check bool)
+    (Printf.sprintf "tiny cache actually evicted (%d)" evictions)
+    true (evictions > 0)
+
+(* Regression: the peak-live sample used to be taken only every 64K
+   creations, so short runs reported a peak of 0.  The O(1) live
+   counter now seeds it on every creation. *)
+let test_peak_seeded_on_short_runs () =
+  let man, vars = Testutil.fresh_man 4 in
+  let f = Bdd.conj man (List.init 4 (fun i -> Bdd.var man vars.(i))) in
+  ignore f;
+  (* No gc, no live_nodes query: the peak must already be non-zero. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "peak seeded without a scan (%d)" (Bdd.peak_live_nodes man))
+    true
+    (Bdd.peak_live_nodes man >= 4)
+
+(* The unique table's O(1) counter vs. reality: exact right after a
+   sweep, and never an undercount in between. *)
+let test_unique_table_counters () =
+  let man, vars = Testutil.fresh_man 6 in
+  let v i = Bdd.var man vars.(i) in
+  let keep = List.fold_left (Bdd.band man) (Bdd.tru man) (List.init 6 v) in
+  for k = 1 to 100 do
+    ignore
+      (Bdd.bxor man keep
+         (Bdd.band man (v (k mod 6)) (Bdd.of_bool man (k land 1 = 0))))
+  done;
+  let counted = Bdd.live_nodes man in
+  Bdd.gc man;
+  let exact = Bdd.live_nodes man in
+  Alcotest.(check bool)
+    (Printf.sprintf "pre-sweep count is an upper bound (%d >= %d)" counted
+       exact)
+    true (counted >= exact);
+  Alcotest.(check int) "stats agree with live_nodes" exact
+    (List.assoc "live" (Bdd.unique_table_stats man));
+  Alcotest.(check bool) "sweeps counted" true
+    (List.assoc "sweeps" (Bdd.unique_table_stats man) >= 1)
+
 let test_reorder_interleaves () =
   (* Equality of two 4-bit words declared far apart costs ~2^w nodes;
      a good order interleaves them and costs ~3w.  The greedy search
@@ -761,6 +914,18 @@ let () =
             test_weak_table_gc;
           Alcotest.test_case "sifting recovers grouped order" `Quick
             test_sift_recovers_grouped_order;
+          Alcotest.test_case "computed table integrity under eviction"
+            `Quick test_computed_table_integrity;
+          Alcotest.test_case "computed table generation invalidation"
+            `Quick test_computed_table_generations;
+          Alcotest.test_case "computed table resize" `Quick
+            test_computed_table_resize;
+          Alcotest.test_case "tiny cache preserves semantics" `Quick
+            test_tiny_cache_semantics;
+          Alcotest.test_case "peak seeded on short runs" `Quick
+            test_peak_seeded_on_short_runs;
+          Alcotest.test_case "unique table counters" `Quick
+            test_unique_table_counters;
         ] );
       ( "properties",
         [
