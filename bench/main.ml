@@ -571,6 +571,108 @@ let bench_checkpoint budgets =
       if Sys.file_exists path then Sys.remove path)
     [ ("fifo-10", List.assoc "fifo-10" cases) ]
 
+(* Parallel portfolio racing vs what a single-threaded driver must do:
+   run the same configs one at a time (in portfolio order) until one
+   decides.  Wall-clock only -- node counts live in worker managers.
+   The per-model rows land in BENCH_parallel.json under --json; commit
+   a dated copy under bench/trajectory/ to pin a trajectory point. *)
+let bench_parallel budgets ~domains =
+  head "=== Parallel: portfolio race on %d domains vs sequential sweep ==="
+    domains;
+  let cases =
+    [
+      ( "fifo-10",
+        fun () ->
+          Models.Typed_fifo.make { Models.Typed_fifo.default with depth = 10 }
+      );
+      ( "network-4",
+        fun () -> Models.Network.make { Models.Network.procs = 4; bug = false }
+      );
+      ( "network-7",
+        fun () -> Models.Network.make { Models.Network.procs = 7; bug = false }
+      );
+      ("filter-8", fun () -> filter_model 8 false);
+      ("cpu-2R1B", fun () -> cpu_model 2 1);
+      (* Buggy variants: the portfolio's raison d'etre.  The sequential
+         sweep pays for XICI first, but on violated properties another
+         config often reaches the counterexample sooner and the race
+         returns as soon as it does. *)
+      ( "network-7-bug",
+        fun () -> Models.Network.make { Models.Network.procs = 7; bug = true }
+      );
+      ( "cpu-2R2B-bug",
+        fun () ->
+          Models.Pipeline_cpu.make
+            {
+              Models.Pipeline_cpu.regs = 2;
+              width = 2;
+              assisted = false;
+              bug = true;
+            } );
+    ]
+  in
+  List.iter
+    (fun (name, make) ->
+      let seq_time = ref 0.0 in
+      let seq_status = ref "exceeded" in
+      let seq_configs = ref 0 in
+      (try
+         List.iter
+           (fun (c : Mc.Parallel.config) ->
+             let model = make () in
+             let t0 = Unix.gettimeofday () in
+             let r =
+               Mc.Runner.run ~limits:(limits_of budgets)
+                 ?xici_cfg:c.Mc.Parallel.xici_cfg
+                 ?termination:c.Mc.Parallel.termination
+                 ?var_choice:c.Mc.Parallel.var_choice c.Mc.Parallel.meth model
+             in
+             seq_time := !seq_time +. (Unix.gettimeofday () -. t0);
+             incr seq_configs;
+             if Mc.Parallel.decided r then begin
+               seq_status := Mc.Report.status_string r;
+               raise Exit
+             end)
+           Mc.Parallel.default_portfolio
+       with Exit -> ());
+      let res =
+        Mc.Parallel.portfolio ~domains ~limits:(limits_of budgets) (make ())
+      in
+      let winner_label, winner_status =
+        match res.Mc.Parallel.winner with
+        | Some (c, r) -> (c.Mc.Parallel.label, Mc.Report.status_string r)
+        | None -> ("-", "exceeded")
+      in
+      let speedup =
+        if res.Mc.Parallel.wall_time_s > 0.0 then
+          !seq_time /. res.Mc.Parallel.wall_time_s
+        else 0.0
+      in
+      Format.printf
+        "  %-10s seq %6.2fs (%d config%s, %s)   parallel %6.2fs (winner %s, \
+         %s)   speedup %.2fx@.%!"
+        name !seq_time !seq_configs
+        (if !seq_configs = 1 then "" else "s")
+        !seq_status res.Mc.Parallel.wall_time_s winner_label winner_status
+        speedup;
+      if !json_mode then
+        json_rows :=
+          Obs.Json.Obj
+            [
+              ("model", Obs.Json.String name);
+              ("domains", Obs.Json.Int res.Mc.Parallel.domains_used);
+              ("sequential_seconds", Obs.Json.Float !seq_time);
+              ("sequential_configs", Obs.Json.Int !seq_configs);
+              ("sequential_status", Obs.Json.String !seq_status);
+              ( "parallel_wall_seconds",
+                Obs.Json.Float res.Mc.Parallel.wall_time_s );
+              ("winner", Obs.Json.String winner_label);
+              ("winner_status", Obs.Json.String winner_status);
+              ("speedup", Obs.Json.Float speedup);
+            ]
+          :: !json_rows)
+    cases
+
 let ablations budgets =
   ablation_worstcase budgets;
   ablation_reorder budgets;
@@ -648,8 +750,8 @@ let bechamel_suite () =
 (* Command line                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let run tables run_ablations run_bechamel run_checkpoint max_live max_seconds
-    quick json =
+let run tables run_ablations run_bechamel run_checkpoint parallel max_live
+    max_seconds quick json =
   json_mode := json;
   let budgets =
     if quick then
@@ -658,7 +760,7 @@ let run tables run_ablations run_bechamel run_checkpoint max_live max_seconds
   in
   let all =
     tables = [] && (not run_ablations) && (not run_bechamel)
-    && not run_checkpoint
+    && (not run_checkpoint) && parallel = 0
   in
   let wants t = all || List.mem t tables in
   if wants 1 then
@@ -669,6 +771,9 @@ let run tables run_ablations run_bechamel run_checkpoint max_live max_seconds
     with_json_artifact "BENCH_table3.json" (fun () -> table3 budgets);
   if run_ablations || all then ablations budgets;
   if run_checkpoint || all then bench_checkpoint budgets;
+  if parallel > 0 then
+    with_json_artifact "BENCH_parallel.json" (fun () ->
+        bench_parallel budgets ~domains:(max 2 parallel));
   if run_bechamel || all then bechamel_suite ();
   head "done."
 
@@ -690,6 +795,15 @@ let () =
           ~doc:
             "Measure checkpointing overhead and escalating-budget recovery \
              cost.")
+  in
+  let parallel =
+    Arg.(
+      value & opt int 0
+      & info [ "parallel" ] ~docv:"N"
+          ~doc:
+            "Benchmark the parallel portfolio on $(docv) worker domains \
+             against the sequential config sweep (Table-1 models).  Writes \
+             BENCH_parallel.json under --json.")
   in
   let max_live =
     Arg.(
@@ -721,6 +835,6 @@ let () =
       (Cmd.info "bench" ~doc:"Regenerate the paper's tables and ablations")
       Term.(
         const run $ tables $ ablations_flag $ bechamel $ checkpoint
-        $ max_live $ max_seconds $ quick $ json)
+        $ parallel $ max_live $ max_seconds $ quick $ json)
   in
   exit (Cmd.eval cmd)

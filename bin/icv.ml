@@ -71,9 +71,9 @@ let with_tracing trace_out trace_format f =
       f
 
 let run_checked model_name depth width procs regs bound assisted bug meth_name
-    trace max_seconds max_live grow_threshold resilient retries
-    budget_escalation max_created checkpoint checkpoint_every resume fallback
-    stats trace_out trace_format verbose =
+    trace max_seconds max_live grow_threshold parallel portfolio resilient
+    retries budget_escalation max_created checkpoint checkpoint_every resume
+    fallback stats trace_out trace_format verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -84,6 +84,13 @@ let run_checked model_name depth width procs regs bound assisted bug meth_name
       man
   in
   let xici_cfg = { Ici.Policy.default with grow_threshold } in
+  (* --parallel N without --portfolio parallelises the Figure-1 pair
+     scoring inside XICI instead of racing whole configurations. *)
+  let evaluator =
+    if parallel >= 2 && not portfolio then
+      Some (Mc.Parallel.pair_evaluator ~domains:parallel ())
+    else None
+  in
   let show_trace label r =
     match r.Mc.Report.status with
     | Mc.Report.Violated tr when trace ->
@@ -100,10 +107,29 @@ let run_checked model_name depth width procs regs bound assisted bug meth_name
   in
   Format.printf "model: %s@." model.Mc.Model.name;
   with_tracing trace_out trace_format (fun () ->
-  if resilient || fallback <> "" then begin
+  if portfolio then begin
+    (* Portfolio mode: race the default configuration mix on worker
+       domains; first sound verdict wins, losers are cancelled. *)
+    let domains = max 2 parallel in
+    let res = Mc.Parallel.portfolio ~domains ~limits model in
+    Format.printf "portfolio: %d configs on %d domains, %.2fs wall@."
+      (List.length res.Mc.Parallel.reports)
+      res.Mc.Parallel.domains_used res.Mc.Parallel.wall_time_s;
+    Format.printf "%s@." Mc.Report.header;
+    List.iter
+      (fun (_, r) -> Format.printf "%a@." Mc.Report.pp_row r)
+      res.Mc.Parallel.reports;
+    match res.Mc.Parallel.winner with
+    | Some (c, r) ->
+      Format.printf "winner: %s (%s)@." c.Mc.Parallel.label
+        (Mc.Report.status_string r);
+      show_trace c.Mc.Parallel.label r
+    | None -> Format.printf "no configuration decided@."
+  end
+  else if resilient || fallback <> "" then begin
     (* Resilient mode: escalating-budget retries + portfolio fallback,
        with the per-attempt log in place of a single result row. *)
-    let portfolio =
+    let meths =
       if fallback = "" then
         match Mc.Runner.of_name meth_name with
         | Some m when m <> Mc.Runner.Xici -> [ m ] @ Mc.Resilient.default_fallback
@@ -113,7 +139,8 @@ let run_checked model_name depth width procs regs bound assisted bug meth_name
     let outcome =
       Mc.Resilient.run ~retries ~budget_escalation
         ?max_created_nodes:max_created ~max_seconds ~max_live_nodes:max_live
-        ~max_iterations:200 ~fallback:portfolio ?checkpoint ~xici_cfg model
+        ~max_iterations:200 ~fallback:meths ?checkpoint ~xici_cfg
+        ~domains:parallel model
     in
     Format.printf "%s@." Mc.Report.header;
     Format.printf "@[<v>%a@]@." Mc.Resilient.pp_outcome outcome;
@@ -135,8 +162,9 @@ let run_checked model_name depth width procs regs bound assisted bug meth_name
     List.iter
       (fun meth ->
         let r =
-          Mc.Runner.run ~limits ~xici_cfg ?checkpoint_path:checkpoint
-            ~checkpoint_every ?resume_from meth model
+          Mc.Runner.run ~limits ~xici_cfg ?evaluator
+            ?checkpoint_path:checkpoint ~checkpoint_every ?resume_from meth
+            model
         in
         Format.printf "%a@." Mc.Report.pp_row r;
         show_trace (Mc.Runner.name meth) r)
@@ -145,13 +173,13 @@ let run_checked model_name depth width procs regs bound assisted bug meth_name
   if stats then Mc.Telemetry.print_summary (Mc.Model.man model)
 
 let run model_name depth width procs regs bound assisted bug meth_name trace
-    max_seconds max_live grow_threshold resilient retries budget_escalation
-    max_created checkpoint checkpoint_every resume fallback stats trace_out
-    trace_format verbose =
+    max_seconds max_live grow_threshold parallel portfolio resilient retries
+    budget_escalation max_created checkpoint checkpoint_every resume fallback
+    stats trace_out trace_format verbose =
   try
     run_checked model_name depth width procs regs bound assisted bug meth_name
-      trace max_seconds max_live grow_threshold resilient retries
-      budget_escalation max_created checkpoint checkpoint_every resume
+      trace max_seconds max_live grow_threshold parallel portfolio resilient
+      retries budget_escalation max_created checkpoint checkpoint_every resume
       fallback stats trace_out trace_format verbose
   with
   | Failure msg
@@ -216,6 +244,24 @@ let () =
     Arg.(
       value & opt float 1.5
       & info [ "grow-threshold" ] ~doc:"XICI GrowThreshold (Figure 1).")
+  in
+  let parallel =
+    Arg.(
+      value & opt int 1
+      & info [ "parallel" ] ~docv:"N"
+          ~doc:
+            "Worker domains.  With --portfolio, race configurations on \
+             $(docv) domains; without it, parallelise the XICI pairwise \
+             scoring across $(docv) scratch managers.")
+  in
+  let portfolio =
+    Arg.(
+      value & flag
+      & info [ "portfolio" ]
+          ~doc:
+            "Race the default configuration portfolio (methods x policies x \
+             termination tests) on worker domains; the first sound verdict \
+             wins and the losers are cancelled.")
   in
   let resilient =
     Arg.(
@@ -308,7 +354,8 @@ let () =
       (Cmd.info "icv" ~doc:"Verify the paper's example models")
       Term.(
         const run $ model $ depth $ width $ procs $ regs $ bound $ assisted
-        $ bug $ meth $ trace $ max_seconds $ max_live $ grow $ resilient
+        $ bug $ meth $ trace $ max_seconds $ max_live $ grow $ parallel
+        $ portfolio $ resilient
         $ retries $ budget_escalation $ max_created $ checkpoint
         $ checkpoint_every $ resume $ fallback $ stats $ trace_out
         $ trace_format $ verbose)

@@ -42,6 +42,38 @@ let write_report path failures =
         (fun f -> output_string oc (Fuzz.Driver.pp_failure f ^ "\n"))
         failures)
 
+(* Replay batches across worker domains.  Every batch builds its own
+   managers and models from its seed, so batches are shared-nothing;
+   the only cross-domain state is the atomic work index and the
+   (domain-safe) Obs registry the instruments report into. *)
+let run_parallel ~domains ~log entries =
+  let arr = Array.of_list entries in
+  let n = Array.length arr in
+  let next = Atomic.make 0 in
+  let failures : Fuzz.Driver.failure option array = Array.make n None in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (match Fuzz.Driver.run_entry arr.(i) with
+        | Ok () -> ()
+        | Error f -> failures.(i) <- Some f);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  log
+    (Printf.sprintf "replaying %d batch(es) on %d domains" n
+       (min domains n));
+  let spawned =
+    List.init (min domains n) (fun _ ->
+        Domain.spawn (fun () -> try Ok (worker ()) with e -> Error e))
+  in
+  let outcomes = List.map Domain.join spawned in
+  List.iter (function Error e -> raise e | Ok () -> ()) outcomes;
+  List.filter_map Fun.id (Array.to_list failures)
+
 let finish ~out failures =
   if failures = [] then begin
     print_endline "no disagreements";
@@ -55,23 +87,30 @@ let finish ~out failures =
     1
   end
 
-let run_checked minutes seed batch targets_spec corpus replay out quiet =
+let run_checked minutes seed batch targets_spec corpus replay domains out
+    quiet =
   let log = if quiet then ignore else print_endline in
   match (replay, corpus) with
   | Some spec, _ ->
     let entry = parse_replay spec in
     log (Printf.sprintf "replaying %s" (Fuzz.Corpus.line entry));
     let failures =
-      match Fuzz.Driver.run_entry entry with
-      | Ok () -> []
-      | Error f -> [ f ]
+      if domains >= 2 then run_parallel ~domains ~log [ entry ]
+      else
+        match Fuzz.Driver.run_entry entry with
+        | Ok () -> []
+        | Error f -> [ f ]
     in
     finish ~out failures
   | None, Some path ->
     let entries = Fuzz.Corpus.load path in
     log (Printf.sprintf "replaying %d corpus batch(es) from %s"
            (List.length entries) path);
-    finish ~out (Fuzz.Driver.run_corpus ~log entries)
+    let failures =
+      if domains >= 2 then run_parallel ~domains ~log entries
+      else Fuzz.Driver.run_corpus ~log entries
+    in
+    finish ~out failures
   | None, None ->
     let targets = parse_targets targets_spec in
     let seed =
@@ -89,8 +128,9 @@ let run_checked minutes seed batch targets_spec corpus replay out quiet =
       Fuzz.Oracle.configs_per_spec;
     finish ~out summary.Fuzz.Driver.failures
 
-let run minutes seed batch targets corpus replay out quiet =
-  try run_checked minutes seed batch targets corpus replay out quiet with
+let run minutes seed batch targets corpus replay domains out quiet =
+  try run_checked minutes seed batch targets corpus replay domains out quiet
+  with
   | Failure msg | Sys_error msg | Invalid_argument msg ->
     Format.eprintf "fuzz: %s@." msg;
     2
@@ -132,6 +172,14 @@ let () =
       & info [ "replay" ] ~docv:"TARGET:SEED[:COUNT]"
           ~doc:"Replay a single batch (as printed in a FAIL line).")
   in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Replay corpus batches on $(docv) worker domains (corpus and \
+             replay modes; batches are shared-nothing).")
+  in
   let out =
     Arg.(
       value & opt string "fuzz-failures.txt"
@@ -146,7 +194,7 @@ let () =
       (Cmd.info "fuzz"
          ~doc:"Differential fuzzing of the verification methods")
       Term.(
-        const run $ minutes $ seed $ batch $ targets $ corpus $ replay $ out
-        $ quiet)
+        const run $ minutes $ seed $ batch $ targets $ corpus $ replay
+        $ domains $ out $ quiet)
   in
   exit (Cmd.eval' cmd)

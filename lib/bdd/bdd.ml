@@ -88,6 +88,8 @@ module Serialize = struct
   let of_channel ?map man ic = Serialize.read ?map man ic
   let to_file = Serialize.to_file
   let of_file = Serialize.of_file
+  let to_string = Serialize.to_string
+  let of_string ?map man s = Serialize.of_string ?map man s
 
   exception Parse_error = Serialize.Parse_error
 end

@@ -293,7 +293,10 @@ module Reorder : sig
 
   val apply : dst:man -> man -> t list -> int array -> t list
   (** Transfer the roots into [dst] under a permutation found by
-      {!greedy_adjacent} or {!sift}. *)
+      {!greedy_adjacent} or {!sift}.  Validates against the source
+      manager [man]: raises [Invalid_argument] if the permutation is
+      not injective over [man]'s variables or maps a level outside the
+      variables allocated in [dst]. *)
 end
 
 (** {1 Serialization} *)
@@ -312,6 +315,14 @@ module Serialize : sig
 
   val to_file : man -> string -> t list -> unit
   val of_file : ?map:(int -> int) -> man -> string -> t list
+
+  val to_string : t list -> string
+  (** In-memory counterpart of {!to_channel}: the same textual format
+      as one string.  Strings are immutable, so the result is safe to
+      share across domains (the root BDDs themselves are not). *)
+
+  val of_string : ?map:(int -> int) -> man -> string -> t list
+  (** In-memory counterpart of {!of_channel}. *)
 end
 
 (** {1 Kernel internals (for tests and benchmarks)} *)

@@ -119,6 +119,29 @@ let sift ?(passes = 1) man roots =
   Array.iteri (fun pos l -> perm.(l) <- pos) !order;
   perm
 
+(* [apply] is [transfer] plus validation against the source manager:
+   the permutation must be injective over the source's variables and
+   every target level must already be allocated in [dst], otherwise
+   [transfer] would fail deep inside [mk] with an unhelpful assertion
+   (or silently alias two source levels onto one target). *)
 let apply ~dst man roots perm =
-  ignore man;
+  let nvars = Man.num_vars man in
+  let n = Array.length perm in
+  let map l = if l < n then perm.(l) else l in
+  let seen = Hashtbl.create (max nvars 16) in
+  for l = 0 to nvars - 1 do
+    let t = map l in
+    if t < 0 || t >= Man.num_vars dst then
+      invalid_arg
+        (Printf.sprintf
+           "Reorder.apply: level %d maps to %d, not allocated in dst" l t);
+    match Hashtbl.find_opt seen t with
+    | Some l' ->
+      invalid_arg
+        (Printf.sprintf
+           "Reorder.apply: permutation not injective (levels %d and %d both \
+            map to %d)"
+           l' l t)
+    | None -> Hashtbl.replace seen t l
+  done;
   transfer ~dst ~perm roots

@@ -11,7 +11,10 @@
 
 open Repr
 
-let write oc roots =
+(* Core writer, parametrised over the output sink so the same code
+   serves channels (checkpoints) and in-memory strings (shipping BDDs
+   between domains, where a string is immutable and safely shared). *)
+let write_gen out roots =
   let order = ref [] in
   let index = Hashtbl.create 64 in
   let rec visit n =
@@ -29,20 +32,29 @@ let write oc roots =
   (* The terminal may be absent if every root is constant. *)
   if not (Hashtbl.mem index 0) then Hashtbl.replace index 0 0;
   let nodes = List.rev !order in
-  Printf.fprintf oc "bdd %d %d\n" (List.length nodes) (List.length roots);
+  out (Printf.sprintf "bdd %d %d\n" (List.length nodes) (List.length roots));
   List.iter
     (fun n ->
-      Printf.fprintf oc "%d %d %d %d %d\n" (Hashtbl.find index n.id) n.level
-        (Hashtbl.find index n.low.id)
-        (Bool.to_int n.low_neg)
-        (Hashtbl.find index n.high.id))
+      out
+        (Printf.sprintf "%d %d %d %d %d\n" (Hashtbl.find index n.id) n.level
+           (Hashtbl.find index n.low.id)
+           (Bool.to_int n.low_neg)
+           (Hashtbl.find index n.high.id)))
     nodes;
   List.iter
     (fun r ->
-      Printf.fprintf oc "root %d %d\n"
-        (Hashtbl.find index r.node.id)
-        (Bool.to_int r.neg))
+      out
+        (Printf.sprintf "root %d %d\n"
+           (Hashtbl.find index r.node.id)
+           (Bool.to_int r.neg)))
     roots
+
+let write oc roots = write_gen (output_string oc) roots
+
+let to_string roots =
+  let b = Buffer.create 4096 in
+  write_gen (Buffer.add_string b) roots;
+  Buffer.contents b
 
 exception Parse_error of string
 
@@ -52,9 +64,6 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
    not leak [End_of_file] and a malformed count must not leak
    [Failure _] -- callers (checkpoint recovery in particular) rely on
    one exception to detect a corrupt input. *)
-let next_line ic =
-  try input_line ic with End_of_file -> fail "truncated file"
-
 let int_field what s =
   match int_of_string_opt s with
   | Some v -> v
@@ -64,9 +73,12 @@ let int_field what s =
    is properly hash-consed (and shared with existing nodes).  [map]
    relocates levels (identity by default); it must be order-preserving
    or the read fails through [mk]'s canonicity assertion. *)
-let read ?map man ic =
+(* Core reader over a [next] line producer ([unit -> string], raising
+   [Parse_error] on exhaustion). *)
+let read_gen ?map man next =
   let map = match map with Some f -> f | None -> Fun.id in
-  let header = next_line ic in
+  let next_line () = next () in
+  let header = next_line () in
   let nodes, roots =
     match String.split_on_char ' ' header with
     | [ "bdd"; n; r ] -> (int_field "node count" n, int_field "root count" r)
@@ -76,7 +88,7 @@ let read ?map man ic =
   let table = Hashtbl.create (nodes + 1) in
   Hashtbl.replace table 0 tru;
   for _ = 1 to nodes do
-    let line = next_line ic in
+    let line = next_line () in
     match String.split_on_char ' ' line with
     | [ id; level; low; low_neg; high ] ->
       let edge key neg =
@@ -91,13 +103,34 @@ let read ?map man ic =
     | _ -> fail "bad node line %S" line
   done;
   List.init roots (fun _ ->
-      let line = next_line ic in
+      let line = next_line () in
       match String.split_on_char ' ' line with
       | [ "root"; id; neg ] -> (
         match Hashtbl.find_opt table (int_field "root id" id) with
         | Some e -> if neg = "1" then Repr.neg e else e
         | None -> fail "unknown root %s" id)
       | _ -> fail "bad root line %S" line)
+
+let read ?map man ic =
+  read_gen ?map man (fun () ->
+      try input_line ic with End_of_file -> fail "truncated file")
+
+(* In-memory counterpart of [read]: lines are carved out of the string
+   without copying it up front, so large transfers stay one allocation
+   per line. *)
+let of_string ?map man s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let next () =
+    if !pos >= len then fail "truncated string"
+    else begin
+      let nl = try String.index_from s !pos '\n' with Not_found -> len in
+      let line = String.sub s !pos (nl - !pos) in
+      pos := nl + 1;
+      line
+    end
+  in
+  read_gen ?map man next
 
 let to_file man path roots =
   ignore man;

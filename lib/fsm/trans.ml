@@ -36,6 +36,7 @@ type image_via = [ `Auto | `Compose | `Relational ]
 
 let space t = t.space
 let man t = Space.man t.space
+let assigns t = t.assigns
 
 let make ?input_constraint space ~assigns =
   let man = Space.man space in

@@ -22,6 +22,11 @@ val make :
 val space : t -> Space.t
 val man : t -> Bdd.man
 
+val assigns : t -> (Space.bit * Bdd.t) list
+(** The per-bit next-state functions the relation was built from, in
+    the order they were given to {!make} (used to reconstruct the
+    machine in another manager). *)
+
 val image : ?extra:Bdd.t list -> t -> Bdd.t -> Bdd.t
 (** States reachable in one transition from [z].  [extra] conjoins
     further constraints on the source states into the quantification

@@ -153,15 +153,17 @@ let check_telemetry ~limits ~expected spec =
   let tracer = Obs.Tracer.create () in
   let oc = open_out path in
   Obs.Tracer.add_sink tracer (Obs.Tracer.jsonl_sink tracer oc);
-  let saved = Obs.Tracer.global () in
-  Obs.Tracer.set_global tracer;
+  (* Domain-local override: parallel corpus replay runs this check on
+     worker domains, and a process-global swap would send the other
+     workers' spans into [oc] -- which we close below. *)
   Fun.protect
     ~finally:(fun () ->
-      Obs.Tracer.set_global saved;
       close_out_noerr oc;
       Oracle.cleanup path)
     (fun () ->
-      let r = Mc.Xici.run ~limits model in
+      let r =
+        Obs.Tracer.with_global tracer (fun () -> Mc.Xici.run ~limits model)
+      in
       Obs.Tracer.flush tracer;
       Stdlib.flush oc;
       match verdict_of r with

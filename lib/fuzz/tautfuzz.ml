@@ -86,12 +86,18 @@ let check_tautology es =
     | None ->
       (* Fuel-exhaustion retry: starving the checker and re-running with
          more fuel must converge to the same answer (exhaustion must not
-         poison any cached state). *)
+         poison any cached state).  The retries share a caller-held memo
+         table, so each one resumes from the verdicts the starved
+         attempts already settled -- which is also what the production
+         retry loops do. *)
+      let memo_table = Ici.Tautology.create_memo () in
       let rec with_fuel fuel =
         if fuel > 1 lsl 24 then
           Error "tautology check still out of fuel at 2^24 expansions"
         else
-          match Ici.Tautology.check ~simplify:false ~fuel man ds with
+          match
+            Ici.Tautology.check ~simplify:false ~fuel ~memo_table man ds
+          with
           | v -> Ok v
           | exception Ici.Tautology.Out_of_fuel -> with_fuel (fuel * 8)
       in

@@ -130,15 +130,41 @@ let simplify_pass man cfg xs =
       else Clist.of_list man (Array.to_list arr)
     end
 
+(* The pair table P of Figure 1, held by the caller so entries survive
+   across [improve] calls (one traversal iteration each): pairs whose
+   operands did not change between iterations keep their scored
+   conjunction.  Node ids are monotone (never reused), so a stale tag
+   key can never alias a different node -- but after a [Bdd.gc] the
+   cached BDD values may be dead, so the table is invalidated whenever
+   the manager's gc generation moves. *)
+type state = {
+  pairs : (int * int, Bdd.t option) Hashtbl.t;
+  mutable gc_generation : int;
+}
+
+let create_state () = { pairs = Hashtbl.create 64; gc_generation = -1 }
+
+let validate_state man st =
+  let gen = Bdd.gc_events man in
+  if st.gc_generation <> gen then begin
+    Hashtbl.reset st.pairs;
+    st.gc_generation <- gen
+  end;
+  st
+
 (* Greedy pair evaluation, Figure 1 of the paper.  The pair table P is a
-   cache keyed by conjunct tags, so entries survive across loop
-   iterations (and across traversal iterations) for pairs that did not
-   change.  With [pair_step_factor = Some k] a pairwise conjunction is
-   abandoned after k * shared-size recursion steps (and cached as
-   hopeless), realising the size-bounded evaluation the paper proposes
-   as future work. *)
-let greedy_evaluate man ?pair_step_factor ~grow_threshold xs =
-  let pair_cache : (int * int, Bdd.t option) Hashtbl.t = Hashtbl.create 64 in
+   cache keyed by conjunct tags; pass [state] (kept by the traversal
+   loop) so entries survive across traversal iterations, not just
+   across the merge loop below.  With [pair_step_factor = Some k] a
+   pairwise conjunction is abandoned after k * shared-size recursion
+   steps (and cached as hopeless), realising the size-bounded
+   evaluation the paper proposes as future work. *)
+let greedy_evaluate man ?state ?pair_step_factor ~grow_threshold xs =
+  let state =
+    validate_state man
+      (match state with Some st -> st | None -> create_state ())
+  in
+  let pair_cache = state.pairs in
   let conjoin a b =
     let ka = Bdd.tag a and kb = Bdd.tag b in
     let key = if ka <= kb then (ka, kb) else (kb, ka) in
@@ -217,10 +243,23 @@ let cover_evaluate man xs =
     Clist.of_list man parts
   end
 
+(* A pluggable replacement for the greedy evaluation phase (the
+   parallel pair-scoring layer in Mc plugs in here, without this
+   package depending on it).  Returning [None] declines the list and
+   falls back to the sequential greedy loop.  NOTE: [config] is
+   serialized field-by-field into checkpoints, so the evaluator is a
+   separate argument, not a config field. *)
+type evaluator =
+  Bdd.man ->
+  pair_step_factor:int option ->
+  grow_threshold:float ->
+  Bdd.t list ->
+  Bdd.t list option
+
 (* The full XICI list transformer: simplify, then evaluate.  Each phase
    is a span so traces show where policy time goes; args record the
    list length going in and out. *)
-let improve man cfg xs =
+let improve man ?state ?evaluator cfg xs =
   let tracer = Obs.Tracer.global () in
   let span name n f =
     Obs.Tracer.with_span tracer ~cat:"policy"
@@ -235,8 +274,19 @@ let improve man cfg xs =
   else
     span "policy.evaluate" (List.length xs) (fun () ->
         match cfg.evaluation with
-        | Greedy ->
-          greedy_evaluate man ?pair_step_factor:cfg.pair_step_factor
-            ~grow_threshold:cfg.grow_threshold xs
+        | Greedy -> (
+          let delegated =
+            match evaluator with
+            | Some ev ->
+              ev man ~pair_step_factor:cfg.pair_step_factor
+                ~grow_threshold:cfg.grow_threshold xs
+            | None -> None
+          in
+          match delegated with
+          | Some ys -> Clist.of_list man ys
+          | None ->
+            greedy_evaluate man ?state
+              ?pair_step_factor:cfg.pair_step_factor
+              ~grow_threshold:cfg.grow_threshold xs)
         | Optimal_cover -> cover_evaluate man xs
         | No_evaluation -> xs)

@@ -38,16 +38,46 @@ val simplify_pass : Bdd.man -> config -> Clist.t -> Clist.t
     strictly smaller conjuncts, one individually-sound step at a time.
     Preserves the implied conjunction. *)
 
+type state
+(** The pair table P of Figure 1, held by the traversal loop so scored
+    pairs survive across {!improve} calls.  Keyed by conjunct tags
+    (node ids are never reused, so stale keys cannot alias) and
+    invalidated automatically when the manager's gc generation
+    ({!Bdd.gc_events}) moves, since cached BDD values may be dead after
+    a collection. *)
+
+val create_state : unit -> state
+(** A fresh, empty pair table.  One per traversal run; sharing across
+    managers is safe only because the table self-invalidates, so don't. *)
+
 val greedy_evaluate :
-  Bdd.man -> ?pair_step_factor:int -> grow_threshold:float -> Clist.t -> Clist.t
+  Bdd.man ->
+  ?state:state ->
+  ?pair_step_factor:int ->
+  grow_threshold:float ->
+  Clist.t ->
+  Clist.t
 (** Figure 1.  Repeatedly replace the pair [xi, xj] minimising
     [size(xi /\ xj) / shared_size(xi, xj)] by its conjunction while the
-    ratio is at most [grow_threshold]. *)
+    ratio is at most [grow_threshold].  Without [state] the pair table
+    only lives for this one call. *)
 
 val cover_evaluate : Bdd.man -> Clist.t -> Clist.t
 (** Theorem-2 baseline: evaluate the exact minimum-cost pairwise cover
     (identity on lists longer than {!Matching.max_exact}). *)
 
-val improve : Bdd.man -> config -> Clist.t -> Clist.t
+type evaluator =
+  Bdd.man ->
+  pair_step_factor:int option ->
+  grow_threshold:float ->
+  Bdd.t list ->
+  Bdd.t list option
+(** Pluggable replacement for the greedy evaluation phase (e.g. the
+    parallel pair-scoring layer in Mc).  Returning [None] declines and
+    {!improve} falls back to the sequential greedy loop. *)
+
+val improve :
+  Bdd.man -> ?state:state -> ?evaluator:evaluator -> config -> Clist.t -> Clist.t
 (** The full policy: simplify then evaluate.  Preserves the implied
-    conjunction. *)
+    conjunction.  [state] persists the greedy pair table across calls;
+    [evaluator] substitutes the Greedy evaluation phase. *)

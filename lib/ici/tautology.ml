@@ -69,6 +69,17 @@ end
 
 exception Out_of_fuel
 
+(* Caller-held memo table (sorted-tag-list -> verdict).  Only verdicts
+   of COMPLETED subproblems are ever stored, so a table that survives
+   an [Out_of_fuel] escape is sound to reuse on the retry: the rerun
+   skips every subtree it already settled instead of redoing all the
+   expansions.  Entries are also valid across var_choice/simplify
+   settings (the verdict is semantic) and across gc (node ids are never
+   reused), but only within the one manager whose tags keyed them. *)
+type memo_table = (int list, bool) Hashtbl.t
+
+let create_memo () : memo_table = Hashtbl.create 64
+
 let choose_var choice ds =
   match choice, ds with
   | _, [] -> invalid_arg "Tautology.choose_var: empty list"
@@ -161,9 +172,14 @@ let simplify_members man stats ds =
    description (which has no memo); disable with [memo:false] to
    measure the difference (see the worst-case ablation benchmark). *)
 let check ?(var_choice = First_top) ?(simplify = true) ?(memo = true) ?fuel
-    ?stats man ds =
+    ?memo_table ?stats man ds =
   let stats = match stats with Some s -> s | None -> fresh_stats () in
-  let table : (int list, bool) Hashtbl.t = Hashtbl.create 64 in
+  (* [memo_table] lets the caller hold the table across calls -- in
+     particular across an [Out_of_fuel] escape, which used to discard
+     every accumulated verdict right when they were most needed. *)
+  let table : memo_table =
+    match memo_table with Some t -> t | None -> create_memo ()
+  in
   let burn () =
     stats.expansions <- stats.expansions + 1;
     Obs.Registry.incr M.expansions;
@@ -228,15 +244,16 @@ let check ?(var_choice = First_top) ?(simplify = true) ?(memo = true) ?fuel
 
 (* X => Y for implicit conjunctions X = /\ xs, Y = /\ ys: for every y_j,
    (not x1 \/ ... \/ not xn \/ y_j) must be a tautology. *)
-let implies ?var_choice ?simplify ?memo ?fuel ?stats man xs ys =
+let implies ?var_choice ?simplify ?memo ?fuel ?memo_table ?stats man xs ys =
   let negated = List.map (Bdd.bnot man) xs in
   List.for_all
     (fun y ->
-      check ?var_choice ?simplify ?memo ?fuel ?stats man (y :: negated))
+      check ?var_choice ?simplify ?memo ?fuel ?memo_table ?stats man
+        (y :: negated))
     ys
 
 (* Exact equality of two implicit conjunctions (the paper's termination
    test): mutual implication. *)
-let equal ?var_choice ?simplify ?memo ?fuel ?stats man xs ys =
-  implies ?var_choice ?simplify ?memo ?fuel ?stats man xs ys
-  && implies ?var_choice ?simplify ?memo ?fuel ?stats man ys xs
+let equal ?var_choice ?simplify ?memo ?fuel ?memo_table ?stats man xs ys =
+  implies ?var_choice ?simplify ?memo ?fuel ?memo_table ?stats man xs ys
+  && implies ?var_choice ?simplify ?memo ?fuel ?memo_table ?stats man ys xs

@@ -35,11 +35,24 @@ val fresh_stats : unit -> stats
 
 exception Out_of_fuel
 
+type memo_table
+(** A caller-held memo of subproblem verdicts, keyed by canonical tag
+    lists.  Hold one across {!check} calls — in particular across an
+    [Out_of_fuel] escape — and the retry resumes from the verdicts
+    already settled instead of redoing every expansion.  Only completed
+    subproblems are ever stored, so reuse across fuel budgets (and
+    across [var_choice]/[simplify] settings: verdicts are semantic) is
+    sound.  Valid for a single manager only. *)
+
+val create_memo : unit -> memo_table
+(** A fresh, empty memo table. *)
+
 val check :
   ?var_choice:var_choice ->
   ?simplify:bool ->
   ?memo:bool ->
   ?fuel:int ->
+  ?memo_table:memo_table ->
   ?stats:stats ->
   Bdd.man ->
   Bdd.t list ->
@@ -49,13 +62,16 @@ val check :
     (raising [Out_of_fuel]); [simplify] toggles the Theorem-3 step
     (default true); [memo] caches subproblem verdicts by canonical tag
     lists (default true — an improvement over the paper, collapsing
-    symmetric worst cases to polynomial). *)
+    symmetric worst cases to polynomial).  [memo_table] makes that
+    cache caller-held so it persists across calls and fuel retries;
+    without it the table lives only for this one call. *)
 
 val implies :
   ?var_choice:var_choice ->
   ?simplify:bool ->
   ?memo:bool ->
   ?fuel:int ->
+  ?memo_table:memo_table ->
   ?stats:stats ->
   Bdd.man ->
   Clist.t ->
@@ -68,6 +84,7 @@ val equal :
   ?simplify:bool ->
   ?memo:bool ->
   ?fuel:int ->
+  ?memo_table:memo_table ->
   ?stats:stats ->
   Bdd.man ->
   Clist.t ->

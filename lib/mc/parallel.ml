@@ -1,0 +1,467 @@
+(* Shared-nothing parallel verification on OCaml 5 domains.
+
+   BDD managers are strictly single-domain (no locks anywhere near the
+   unique/computed tables), so parallelism here never shares a manager:
+   the model is FROZEN to an immutable string (declarations + one
+   Bdd.Serialize block) and each worker domain THAWS its own private
+   copy into a fresh manager.  Two modes:
+
+   - [portfolio]: run N method/policy configurations concurrently; the
+     first sound verdict (Proved/Violated) wins and the losers are
+     cancelled through the existing fault-hook machinery (they raise
+     [Limits.Exceeded "cancelled by portfolio"], which every method
+     already converts into a clean Exceeded report).  All methods are
+     sound, so whichever config wins the race carries the same verdict
+     a sequential run would have produced.
+
+   - [pair_evaluator]: the Figure-1 greedy conjunction evaluation fans
+     its O(n^2) pairwise scoring out to scratch managers, one candidate
+     list copy per worker per round, and ships only the winning pair's
+     BDD back to the caller's manager.  Plugs into
+     [Ici.Policy.improve]'s [evaluator] hook, so the XICI fixpoint
+     itself stays sequential and deterministic. *)
+
+exception Corrupt of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+(* --- model freeze / thaw --------------------------------------------- *)
+
+(* The frozen form is one immutable string:
+
+       frozen-model 1
+       name <model name>
+       decls <count>
+       s <state bit name>          (one per declaration, in level order;
+       i <input name>               a state bit owns levels L and L+1)
+       counts <assigns> <good> <assisting>
+       fd <level> ... <level>
+       <Bdd.Serialize block: next-state functions (state-bit order),
+        input constraint, init, good..., assisting...>
+
+   Thawing replays the declarations into a fresh [Fsm.Space] -- in the
+   same order, so every BDD lands on the same level it had -- then
+   rebuilds the transition relation with [Fsm.Trans.make].  Strings are
+   immutable, so a frozen model is safe to hand to any number of
+   domains. *)
+type frozen = string
+
+let freeze (model : Model.t) : frozen =
+  let sp = model.Model.space in
+  let man = Model.man model in
+  let trans = model.Model.trans in
+  let bits = Fsm.Space.state_bits sp in
+  let by_cur = Hashtbl.create 16 in
+  List.iter
+    (fun (bit : Fsm.Space.bit) -> Hashtbl.replace by_cur bit.Fsm.Space.cur bit)
+    bits;
+  let input_set = Hashtbl.create 16 in
+  List.iter
+    (fun l -> Hashtbl.replace input_set l ())
+    (Fsm.Space.input_levels sp);
+  let nvars = Bdd.num_vars man in
+  let decls = Buffer.create 256 in
+  let ndecls = ref 0 in
+  let l = ref 0 in
+  while !l < nvars do
+    incr ndecls;
+    match Hashtbl.find_opt by_cur !l with
+    | Some (bit : Fsm.Space.bit) ->
+      if bit.Fsm.Space.next <> !l + 1 then
+        fail "freeze: state bit at level %d is not cur/next interleaved" !l;
+      Buffer.add_string decls
+        (Printf.sprintf "s %s\n" (Bdd.var_name man !l));
+      l := !l + 2
+    | None ->
+      if not (Hashtbl.mem input_set !l) then
+        fail "freeze: level %d is neither a state bit nor an input" !l;
+      Buffer.add_string decls
+        (Printf.sprintf "i %s\n" (Bdd.var_name man !l));
+      incr l
+  done;
+  let assigns = Fsm.Trans.assigns trans in
+  let fn_of (bit : Fsm.Space.bit) =
+    match
+      List.find_opt
+        (fun ((a : Fsm.Space.bit), _) -> a.Fsm.Space.cur = bit.Fsm.Space.cur)
+        assigns
+    with
+    | Some (_, f) -> f
+    | None ->
+      fail "freeze: state bit at level %d has no next-state function"
+        bit.Fsm.Space.cur
+  in
+  let fns = List.map fn_of bits in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "frozen-model 1\n";
+  Buffer.add_string b (Printf.sprintf "name %s\n" model.Model.name);
+  Buffer.add_string b (Printf.sprintf "decls %d\n" !ndecls);
+  Buffer.add_buffer b decls;
+  Buffer.add_string b
+    (Printf.sprintf "counts %d %d %d\n" (List.length fns)
+       (List.length model.Model.good)
+       (List.length model.Model.assisting));
+  Buffer.add_string b
+    (Printf.sprintf "fd %s\n"
+       (String.concat " " (List.map string_of_int model.Model.fd_candidates)));
+  let roots =
+    fns
+    @ [ Fsm.Trans.input_constraint trans; model.Model.init ]
+    @ model.Model.good @ model.Model.assisting
+  in
+  Buffer.add_string b (Bdd.Serialize.to_string roots);
+  Buffer.contents b
+
+let int_field what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail "thaw: bad %s %S" what s
+
+let rec take n xs =
+  if n = 0 then ([], xs)
+  else
+    match xs with
+    | [] -> fail "thaw: missing serialized roots"
+    | x :: rest ->
+      let front, back = take (n - 1) rest in
+      (x :: front, back)
+
+let thaw ?cache_budget (s : frozen) : Model.t =
+  let pos = ref 0 in
+  let len = String.length s in
+  let next_line () =
+    if !pos >= len then fail "thaw: truncated frozen model"
+    else begin
+      let nl = try String.index_from s !pos '\n' with Not_found -> len in
+      let line = String.sub s !pos (nl - !pos) in
+      pos := nl + 1;
+      line
+    end
+  in
+  let rest_after prefix line =
+    let pl = String.length prefix in
+    if String.length line > pl && String.sub line 0 pl = prefix then
+      String.sub line pl (String.length line - pl)
+    else fail "thaw: expected %S line, got %S" prefix line
+  in
+  (match next_line () with
+  | "frozen-model 1" -> ()
+  | l -> fail "thaw: bad header %S" l);
+  let name = rest_after "name " (next_line ()) in
+  let ndecls = int_field "decl count" (rest_after "decls " (next_line ())) in
+  let sp = Fsm.Space.create ?cache_budget () in
+  for _ = 1 to ndecls do
+    let line = next_line () in
+    if String.length line < 3 then fail "thaw: bad decl line %S" line;
+    let bit_name = String.sub line 2 (String.length line - 2) in
+    match (line.[0], line.[1]) with
+    | 's', ' ' -> ignore (Fsm.Space.state_bit ~name:bit_name sp)
+    | 'i', ' ' -> ignore (Fsm.Space.input_bit ~name:bit_name sp)
+    | _ -> fail "thaw: bad decl line %S" line
+  done;
+  let n_fns, n_good, n_assisting =
+    match
+      String.split_on_char ' ' (rest_after "counts " (next_line ()))
+    with
+    | [ a; g; s ] ->
+      ( int_field "assign count" a,
+        int_field "good count" g,
+        int_field "assisting count" s )
+    | _ -> fail "thaw: bad counts line"
+  in
+  let fd_candidates =
+    let line = next_line () in
+    if line = "fd" || line = "fd " then []
+    else
+      List.map (int_field "fd level")
+        (List.filter
+           (fun f -> f <> "")
+           (String.split_on_char ' ' (rest_after "fd " line)))
+  in
+  let man = Fsm.Space.man sp in
+  let roots =
+    try Bdd.Serialize.of_string man (String.sub s !pos (len - !pos))
+    with Bdd.Serialize.Parse_error why -> fail "thaw: bad BDD block: %s" why
+  in
+  let bits = Fsm.Space.state_bits sp in
+  if List.length bits <> n_fns then
+    fail "thaw: %d state bits but %d next-state functions"
+      (List.length bits) n_fns;
+  let fns, rest = take n_fns roots in
+  match rest with
+  | input_constraint :: init :: rest ->
+    let good, rest = take n_good rest in
+    let assisting, rest = take n_assisting rest in
+    if rest <> [] then fail "thaw: %d extra roots" (List.length rest);
+    let trans =
+      Fsm.Trans.make ~input_constraint sp ~assigns:(List.combine bits fns)
+    in
+    Model.make ~assisting ~fd_candidates ~name ~space:sp ~trans ~init ~good
+      ()
+  | _ -> fail "thaw: missing input constraint / init roots"
+
+(* --- portfolio ------------------------------------------------------- *)
+
+type config = {
+  label : string;
+  meth : Runner.meth;
+  xici_cfg : Ici.Policy.config option;
+  termination : Xici.termination option;
+  var_choice : Ici.Tautology.var_choice option;
+}
+
+let config ?label ?xici_cfg ?termination ?var_choice meth =
+  {
+    label = (match label with Some l -> l | None -> Runner.name meth);
+    meth;
+    xici_cfg;
+    termination;
+    var_choice;
+  }
+
+(* Convergence-rate sensitivity is the whole premise of a portfolio:
+   different policies/termination tests win on different models, so the
+   default mixes the paper's XICI variants with the monolithic methods
+   that beat it on small-reachable-set models. *)
+let default_portfolio =
+  [
+    config Runner.Xici;
+    config Runner.Backward;
+    config ~label:"XICI-constrain"
+      ~xici_cfg:{ Ici.Policy.default with Ici.Policy.simplifier = Ici.Policy.Constrain }
+      Runner.Xici;
+    config Runner.Fd;
+    config ~label:"XICI-implication" ~termination:`Exact_implication
+      Runner.Xici;
+    config ~label:"XICI-lowest" ~var_choice:Ici.Tautology.Lowest_level
+      Runner.Xici;
+    config Runner.Forward;
+    config ~label:"XICI-cover"
+      ~xici_cfg:{ Ici.Policy.default with Ici.Policy.evaluation = Ici.Policy.Optimal_cover }
+      Runner.Xici;
+  ]
+
+type result = {
+  winner : (config * Report.t) option;
+  reports : (config * Report.t) list;
+  domains_used : int;
+  wall_time_s : float;
+}
+
+let decided (r : Report.t) =
+  match r.Report.status with
+  | Report.Proved | Report.Violated _ -> true
+  | Report.Exceeded _ -> false
+
+module M = struct
+  let reg = Obs.Registry.default
+  let portfolio_runs = Obs.Registry.counter reg "parallel.portfolio_runs"
+  let cancelled = Obs.Registry.counter reg "parallel.cancelled_configs"
+  let pair_rounds = Obs.Registry.counter reg "parallel.pair_rounds"
+  let pairs_scored = Obs.Registry.counter reg "parallel.pairs_scored"
+  let pair_merges = Obs.Registry.counter reg "parallel.pair_merges"
+end
+
+(* Join every domain even when one dies: a worker exception must not
+   leak the others.  The first worker error is re-raised after the
+   joins. *)
+let join_all spawned =
+  let outcomes = List.map Domain.join spawned in
+  List.iter (function Error e -> raise e | Ok () -> ()) outcomes
+
+let portfolio ?(domains = 2) ?(configs = default_portfolio) ?limits
+    ?cache_budget model =
+  if domains < 1 then invalid_arg "Parallel.portfolio: domains < 1";
+  if configs = [] then invalid_arg "Parallel.portfolio: empty portfolio";
+  Obs.Registry.incr M.portfolio_runs;
+  let t0 = Monotonic.now () in
+  let frozen = freeze model in
+  let arr = Array.of_list configs in
+  let n = Array.length arr in
+  let cancel = Atomic.make false in
+  let next = Atomic.make 0 in
+  let winner = Atomic.make (-1) in
+  let results : Report.t option array = Array.make n None in
+  let tracer = Obs.Tracer.global () in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n && not (Atomic.get cancel) then begin
+        let c = arr.(i) in
+        let m = thaw ?cache_budget frozen in
+        let man = Model.man m in
+        (* The fault hook is consulted on every node creation, so a
+           cancelled loser aborts within one BDD operation; the raise
+           surfaces as a clean Exceeded report through the method's own
+           Limits handling. *)
+        Bdd.set_fault_hook man
+          (Some
+             (fun _ ->
+               if Atomic.get cancel then
+                 raise (Limits.Exceeded "cancelled by portfolio")));
+        let baseline = Bdd.created_nodes man in
+        let t1 = Monotonic.now () in
+        let report =
+          try
+            Obs.Tracer.with_span tracer ~cat:"parallel"
+              ~args:(fun () -> [ ("config", Obs.Json.String c.label) ])
+              "parallel.config"
+              (fun () ->
+                Runner.run ?limits ?xici_cfg:c.xici_cfg
+                  ?termination:c.termination ?var_choice:c.var_choice c.meth
+                  m)
+          with Limits.Exceeded why ->
+            Report.make ~model:m.Model.name ~method_name:c.label
+              ~status:(Report.Exceeded why) ~iterations:0
+              ~peak:(Report.fresh_peak ()) ~man ~baseline
+              ~time_s:(Monotonic.now () -. t1)
+        in
+        let report = Report.relabel report ~method_name:c.label in
+        results.(i) <- Some report;
+        if decided report then begin
+          if Atomic.compare_and_set winner (-1) i then Atomic.set cancel true
+        end
+        else if Atomic.get cancel then Obs.Registry.incr M.cancelled;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let k = min domains n in
+  let spawned =
+    List.init k (fun _ ->
+        Domain.spawn (fun () -> try Ok (worker ()) with e -> Error e))
+  in
+  join_all spawned;
+  let reports = ref [] in
+  for i = n - 1 downto 0 do
+    match results.(i) with
+    | Some r -> reports := (arr.(i), r) :: !reports
+    | None -> ()
+  done;
+  let winner =
+    match Atomic.get winner with
+    | -1 -> None
+    | i -> Option.map (fun r -> (arr.(i), r)) results.(i)
+  in
+  {
+    winner;
+    reports = !reports;
+    domains_used = k;
+    wall_time_s = Monotonic.now () -. t0;
+  }
+
+(* --- parallel pair scoring ------------------------------------------- *)
+
+(* Figure 1's O(n^2) pairwise scoring, fanned out: each round freezes
+   the candidate list once, every worker thaws a private copy into a
+   scratch manager and scores its share of the index pairs (pulled from
+   an atomic counter), and only the winning pair's BDD is serialized
+   back into the caller's manager.  Scoring is deterministic -- the
+   merged pair minimises (ratio, i, j) exactly like the sequential
+   loop's first-minimum rule -- so parallel and sequential XICI walk
+   identical fixpoint trajectories.
+
+   Returns [None] (declining, so [Ici.Policy.improve] falls back to the
+   sequential greedy loop) for lists too short to amortise the
+   per-round freeze/thaw. *)
+let pair_evaluator ?(min_conjuncts = 6) ~domains () : Ici.Policy.evaluator =
+ fun man ~pair_step_factor ~grow_threshold xs ->
+  if domains < 2 || List.length xs < min_conjuncts then None
+  else begin
+    let nvars = Bdd.num_vars man in
+    let rec round xs =
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      if n < 2 then xs
+      else begin
+        Obs.Registry.incr M.pair_rounds;
+        let text = Bdd.Serialize.to_string (Array.to_list arr) in
+        let npairs = n * (n - 1) / 2 in
+        let pairs = Array.make npairs (0, 0) in
+        let k = ref 0 in
+        for i = 0 to n - 1 do
+          for j = i + 1 to n - 1 do
+            pairs.(!k) <- (i, j);
+            incr k
+          done
+        done;
+        let next = Atomic.make 0 in
+        let bests = Array.make (min domains npairs) None in
+        let worker slot () =
+          let sman = Bdd.create () in
+          for _ = 1 to nvars do
+            ignore (Bdd.new_var sman)
+          done;
+          let local = Array.of_list (Bdd.Serialize.of_string sman text) in
+          let best = ref None in
+          let rec score () =
+            let idx = Atomic.fetch_and_add next 1 in
+            if idx < npairs then begin
+              let i, j = pairs.(idx) in
+              let a = local.(i) and b = local.(j) in
+              Obs.Registry.incr M.pairs_scored;
+              let p =
+                match pair_step_factor with
+                | None -> Some (Bdd.band sman a b)
+                | Some factor ->
+                  let max_steps = (factor * Bdd.size_list [ a; b ]) + 1024 in
+                  Bdd.band_bounded sman ~max_steps a b
+              in
+              (match p with
+              | None -> ()
+              | Some p ->
+                let ratio =
+                  float_of_int (Bdd.size p)
+                  /. float_of_int (Bdd.size_list [ a; b ])
+                in
+                let better =
+                  match !best with
+                  | Some (r, bi, bj, _) -> (ratio, i, j) < (r, bi, bj)
+                  | None -> true
+                in
+                if better then best := Some (ratio, i, j, p));
+              score ()
+            end
+          in
+          score ();
+          bests.(slot) <-
+            Option.map
+              (fun (r, i, j, p) -> (r, i, j, Bdd.Serialize.to_string [ p ]))
+              !best
+        in
+        let spawned =
+          List.init
+            (Array.length bests)
+            (fun slot ->
+              Domain.spawn (fun () ->
+                  try Ok (worker slot ()) with e -> Error e))
+        in
+        join_all spawned;
+        let best =
+          Array.fold_left
+            (fun acc b ->
+              match (acc, b) with
+              | None, b -> b
+              | acc, None -> acc
+              | Some (r1, i1, j1, _), Some (r2, i2, j2, _) ->
+                if (r1, i1, j1) <= (r2, i2, j2) then acc else b)
+            None bests
+        in
+        match best with
+        | Some (ratio, i, j, winner_text) when ratio <= grow_threshold ->
+          Obs.Registry.incr M.pair_merges;
+          let p =
+            match Bdd.Serialize.of_string man winner_text with
+            | [ p ] -> p
+            | _ -> fail "pair_evaluator: bad winner transfer"
+          in
+          let rest =
+            List.filteri (fun k _ -> k <> i && k <> j) (Array.to_list arr)
+          in
+          round (Ici.Clist.of_list man (p :: rest))
+        | Some _ | None -> xs
+      end
+    in
+    Some (round (Ici.Clist.of_list man xs))
+  end

@@ -1,0 +1,96 @@
+(** Shared-nothing parallel verification on OCaml 5 domains.
+
+    BDD managers are single-domain, so nothing here ever shares one:
+    models are shipped between domains as immutable frozen strings
+    (declaration replay + a {!Bdd.Serialize} block) and every worker
+    rebuilds its own private copy.
+
+    Observability: workers report into the (domain-safe)
+    [Obs.Registry.default] under ["parallel.*"], and each portfolio
+    config runs inside a ["parallel.config"] trace span tagged with the
+    domain that ran it. *)
+
+exception Corrupt of string
+(** A frozen model failed to parse (freeze/thaw version skew or
+    in-memory corruption). *)
+
+(** {1 Model freeze / thaw} *)
+
+type frozen = string
+(** An immutable, domain-shareable snapshot of a {!Model.t} (strings
+    are immutable, so any number of domains may thaw the same one; it
+    can also be written to disk and thawed in another process). *)
+
+val freeze : Model.t -> frozen
+
+val thaw : ?cache_budget:int -> frozen -> Model.t
+(** Rebuild the model in a fresh manager (fresh space, fresh transition
+    relation).  Levels, variable names, conjunct structure and
+    fd-candidates are preserved exactly; [cache_budget] is forwarded to
+    the new manager. *)
+
+(** {1 Portfolio mode} *)
+
+type config = {
+  label : string;
+  meth : Runner.meth;
+  xici_cfg : Ici.Policy.config option;
+  termination : Xici.termination option;
+  var_choice : Ici.Tautology.var_choice option;
+}
+(** One portfolio entry: a method plus its XICI-only knobs. *)
+
+val config :
+  ?label:string ->
+  ?xici_cfg:Ici.Policy.config ->
+  ?termination:Xici.termination ->
+  ?var_choice:Ici.Tautology.var_choice ->
+  Runner.meth ->
+  config
+(** [label] defaults to the method name. *)
+
+val default_portfolio : config list
+(** XICI policy/termination variants mixed with the monolithic methods;
+    ordered so the first few domains grab the usually-best configs. *)
+
+type result = {
+  winner : (config * Report.t) option;
+      (** the first config to reach a sound verdict, with its report *)
+  reports : (config * Report.t) list;
+      (** every config that ran, in portfolio order; losers cancelled
+          mid-run carry [Exceeded "cancelled by portfolio"] *)
+  domains_used : int;
+  wall_time_s : float;
+}
+
+val decided : Report.t -> bool
+(** Proved or Violated (a sound verdict, as opposed to Exceeded). *)
+
+val portfolio :
+  ?domains:int ->
+  ?configs:config list ->
+  ?limits:(Bdd.man -> Limits.t) ->
+  ?cache_budget:int ->
+  Model.t ->
+  result
+(** Run [configs] (default {!default_portfolio}) concurrently on
+    [domains] worker domains (default 2), each on a private thawed copy
+    of the model.  The first sound verdict wins; the rest are cancelled
+    via each worker manager's fault hook.  Every config is sound, so
+    the winning verdict equals what a sequential run of any deciding
+    config would return.  [limits] builds per-worker budgets against
+    the worker's own manager. *)
+
+(** {1 Parallel pair scoring} *)
+
+val pair_evaluator :
+  ?min_conjuncts:int -> domains:int -> unit -> Ici.Policy.evaluator
+(** An {!Ici.Policy.evaluator} that fans the Figure-1 O(n^2) pairwise
+    scoring out to [domains] scratch-manager workers per merge round,
+    transferring only the winning pair's BDD back.  Deterministic: the
+    merged pair minimises (ratio, i, j) exactly like the sequential
+    first-minimum rule, so the fixpoint trajectory is unchanged.
+    Declines lists shorter than [min_conjuncts] (default 6) -- the
+    freeze/thaw overhead needs a quadratic's worth of pairs to pay off
+    -- letting {!Ici.Policy.improve} fall back to the sequential
+    loop. *)

@@ -56,7 +56,8 @@ let pp_outcome fmt o =
 
 let run ?(retries = 3) ?(budget_escalation = 2.0) ?max_created_nodes
     ?(budget_cap = max_int) ?max_seconds ?max_live_nodes ?max_iterations
-    ?(fallback = default_fallback) ?checkpoint ?xici_cfg ?termination model =
+    ?(fallback = default_fallback) ?checkpoint ?xici_cfg ?termination
+    ?(domains = 1) ?portfolio_configs model =
   if fallback = [] then invalid_arg "Resilient.run: empty fallback portfolio";
   if retries < 1 then invalid_arg "Resilient.run: retries < 1";
   if budget_escalation < 1.0 then
@@ -148,7 +149,53 @@ let run ?(retries = 3) ?(budget_escalation = 2.0) ?max_created_nodes
       | Some report -> report
       | None -> portfolio rest)
   in
-  let final = portfolio fallback in
+  (* With [domains > 1] the whole portfolio runs CONCURRENTLY first
+     (every config under the un-escalated budget, each on its own
+     thawed model copy); only if no config decides does the driver fall
+     back to the sequential escalating-retry path on this manager,
+     where checkpoints can resume.  Parallel attempts are logged like
+     sequential ones, but their node costs live in worker managers and
+     are not part of [total_nodes_created]. *)
+  let parallel_stage () =
+    if domains < 2 then None
+    else begin
+      let configs =
+        match portfolio_configs with
+        | Some cs -> cs
+        | None ->
+          List.map
+            (fun m -> Parallel.config ?xici_cfg ?termination m)
+            fallback
+      in
+      let limits m =
+        Limits.start ?max_created_nodes ?max_seconds ?max_live_nodes
+          ?max_iterations m
+      in
+      let res = Parallel.portfolio ~domains ~configs ~limits model in
+      List.iter
+        (fun ((c : Parallel.config), report) ->
+          incr index;
+          let a =
+            {
+              meth = c.Parallel.meth;
+              index = !index;
+              max_created_nodes;
+              resumed_at = None;
+              report;
+            }
+          in
+          attempts := a :: !attempts;
+          Log.attempt ~label:c.Parallel.label
+            ~detail:(Report.status_string report))
+        res.Parallel.reports;
+      Option.map snd res.Parallel.winner
+    end
+  in
+  let final =
+    match parallel_stage () with
+    | Some report -> report
+    | None -> portfolio fallback
+  in
   {
     final;
     attempts = List.rev !attempts;

@@ -55,6 +55,8 @@ val run :
   ?checkpoint:string ->
   ?xici_cfg:Ici.Policy.config ->
   ?termination:Xici.termination ->
+  ?domains:int ->
+  ?portfolio_configs:Parallel.config list ->
   Model.t ->
   outcome
 (** Defaults: [retries = 3], [budget_escalation = 2.0], no initial node
@@ -62,4 +64,12 @@ val run :
     an XICI retry meaningful), [fallback = default_fallback].
     [max_seconds]/[max_live_nodes]/[max_iterations] apply per attempt,
     unescalated.  Raises [Invalid_argument] on an empty portfolio,
-    [retries < 1] or [budget_escalation < 1.0]. *)
+    [retries < 1] or [budget_escalation < 1.0].
+
+    With [domains > 1] the portfolio (as [portfolio_configs], or
+    [fallback] lifted into {!Parallel.config}s) first runs CONCURRENTLY
+    via {!Parallel.portfolio}, each config on its own thawed copy of
+    the model under the un-escalated budgets; the sequential escalating
+    path only runs if no parallel config decides.  Parallel attempts
+    appear in the log, but their node costs accrue in worker managers,
+    outside [total_nodes_created]. *)

@@ -16,6 +16,8 @@ val run :
   ?limits:(Bdd.man -> Limits.t) ->
   ?xici_cfg:Ici.Policy.config ->
   ?termination:Xici.termination ->
+  ?var_choice:Ici.Tautology.var_choice ->
+  ?evaluator:Ici.Policy.evaluator ->
   ?checkpoint_path:string ->
   ?checkpoint_every:int ->
   ?resume_from:Checkpoint.t ->
@@ -23,4 +25,5 @@ val run :
   Model.t ->
   Report.t
 (** The checkpoint/resume options apply to [Xici] only (the only method
-    with serializable fixpoint state); other methods ignore them. *)
+    with serializable fixpoint state); other methods ignore them, as
+    they do the XICI-only [var_choice] and [evaluator] knobs. *)

@@ -30,7 +30,7 @@ let lists_pointwise_equal a b =
    [termination] default to the checkpointed values so the continued
    run uses the policy that produced the snapshot. *)
 let run_full ?(limits = fun man -> Limits.unlimited man) ?cfg ?termination
-    ?(var_choice = Ici.Tautology.First_top) ?tautology_stats
+    ?(var_choice = Ici.Tautology.First_top) ?tautology_stats ?evaluator
     ?checkpoint_path ?(checkpoint_every = 1) ?resume_from model =
   let cfg =
     match (cfg, resume_from) with
@@ -63,13 +63,22 @@ let run_full ?(limits = fun man -> Limits.unlimited man) ?cfg ?termination
       ~iterations:!iterations ~peak ~man ~baseline
       ~time_s:(Limits.elapsed lim)
   in
+  (* Run-scoped caches: the policy's pair table survives across
+     traversal iterations (pairs of unchanged conjuncts keep their
+     scored conjunction), and the tautology memo accumulates verdicts
+     across every termination test of the run. *)
+  let policy_state = Ici.Policy.create_state () in
+  let taut_memo = Ici.Tautology.create_memo () in
+  let improve l = Ici.Policy.improve man ~state:policy_state ?evaluator cfg l in
   let converged l l' =
     match termination with
     | `Pointwise -> lists_pointwise_equal l l'
     | `Exact_implication ->
-      Ici.Tautology.implies ~var_choice ~stats:taut_stats man l l'
+      Ici.Tautology.implies ~var_choice ~memo_table:taut_memo
+        ~stats:taut_stats man l l'
     | `Exact_equal ->
-      Ici.Tautology.equal ~var_choice ~stats:taut_stats man l l'
+      Ici.Tautology.equal ~var_choice ~memo_table:taut_memo ~stats:taut_stats
+        man l l'
   in
   let final = ref None in
   let maybe_checkpoint l gs =
@@ -118,7 +127,7 @@ let run_full ?(limits = fun man -> Limits.unlimited man) ?cfg ?termination
             Obs.Tracer.with_span tracer ~cat:"mc" "xici.back_image"
               (fun () -> List.map (Fsm.Trans.back_image trans) l)
           in
-          let l' = Ici.Policy.improve man cfg (l0 @ back) in
+          let l' = improve (l0 @ back) in
           if Ici.Clist.is_false l' then begin
             (* Good states form an empty inductive core; any start state
                is a violation unless init is empty. *)
@@ -161,14 +170,14 @@ let run_full ?(limits = fun man -> Limits.unlimited man) ?cfg ?termination
           iterations := cp.Checkpoint.iterations;
           iterate cp.Checkpoint.current cp.Checkpoint.gs
         | None ->
-          let start_list = Ici.Policy.improve man cfg l0 in
+          let start_list = improve l0 in
           iterate start_list [ start_list ]
       in
       (report, !final)
     with Limits.Exceeded why -> (finish (Report.Exceeded why), None))
 
-let run ?limits ?cfg ?termination ?var_choice ?tautology_stats
+let run ?limits ?cfg ?termination ?var_choice ?tautology_stats ?evaluator
     ?checkpoint_path ?checkpoint_every ?resume_from model =
   fst
     (run_full ?limits ?cfg ?termination ?var_choice ?tautology_stats
-       ?checkpoint_path ?checkpoint_every ?resume_from model)
+       ?evaluator ?checkpoint_path ?checkpoint_every ?resume_from model)

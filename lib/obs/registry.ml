@@ -1,22 +1,28 @@
 (* Metrics registry: named counters, gauges and log2-bucketed
-   histograms.  Updates are plain mutable-field writes — the whole
-   system is single-domain, so there is no atomics tax on the hot
-   paths that report into it (BDD cache lookups, policy scoring,
-   tautology filters).
+   histograms.
+
+   Domain-safety contract: counters and gauges are [Atomic] cells
+   (lock-free updates from any domain); histograms take a per-histogram
+   mutex on [observe] (they sit on cold paths -- once per improve call,
+   not per cache lookup); interning, snapshots and resets take the
+   registry mutex.  Parallel workers in Mc.Parallel therefore report
+   into [default] concurrently without tearing, at the cost of one
+   atomic RMW per counter bump on the hot paths.
 
    Handles are interned by name: [counter reg "x"] always returns the
    same cell, so instrument sites can re-resolve by name without
    threading handles around.  A handle stays valid across [reset]
    (reset zeroes values, it does not drop cells). *)
 
-type counter = { c_name : string; mutable count : int }
-type gauge = { g_name : string; mutable value : float }
+type counter = { c_name : string; count : int Atomic.t }
+type gauge = { g_name : string; value : float Atomic.t }
 
 (* Histogram of nonnegative ints, bucketed by bit length: bucket [i]
    counts observations [v] with [2^(i-1) <= v < 2^i] (bucket 0 counts
    v = 0).  63 buckets cover the whole OCaml int range. *)
 type histogram = {
   h_name : string;
+  h_mu : Mutex.t;
   buckets : int array;
   mutable h_count : int;
   mutable sum : int;
@@ -24,6 +30,7 @@ type histogram = {
 }
 
 type t = {
+  mu : Mutex.t;
   counters : (string, counter) Hashtbl.t;
   gauges : (string, gauge) Hashtbl.t;
   histograms : (string, histogram) Hashtbl.t;
@@ -33,6 +40,7 @@ type t = {
 
 let create () =
   {
+    mu = Mutex.create ();
     counters = Hashtbl.create 64;
     gauges = Hashtbl.create 16;
     histograms = Hashtbl.create 16;
@@ -44,33 +52,53 @@ let create () =
    JSON snapshots read it back out. *)
 let default = create ()
 
+let locked mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
 let intern reg tbl name make =
-  match Hashtbl.find_opt tbl name with
-  | Some cell -> cell
-  | None ->
-    let cell = make name in
-    Hashtbl.replace tbl name cell;
-    reg.order <- name :: reg.order;
-    cell
+  locked reg.mu (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some cell -> cell
+      | None ->
+        let cell = make name in
+        Hashtbl.replace tbl name cell;
+        reg.order <- name :: reg.order;
+        cell)
 
 let counter reg name =
-  intern reg reg.counters name (fun c_name -> { c_name; count = 0 })
+  intern reg reg.counters name (fun c_name ->
+      { c_name; count = Atomic.make 0 })
 
 let gauge reg name =
-  intern reg reg.gauges name (fun g_name -> { g_name; value = 0.0 })
+  intern reg reg.gauges name (fun g_name ->
+      { g_name; value = Atomic.make 0.0 })
 
 let histogram reg name =
   intern reg reg.histograms name (fun h_name ->
-      { h_name; buckets = Array.make 63 0; h_count = 0; sum = 0; max = 0 })
+      {
+        h_name;
+        h_mu = Mutex.create ();
+        buckets = Array.make 63 0;
+        h_count = 0;
+        sum = 0;
+        max = 0;
+      })
 
-let incr c = c.count <- c.count + 1
-let add c n = c.count <- c.count + n
-let count c = c.count
+let incr c = Atomic.incr c.count
+let add c n = ignore (Atomic.fetch_and_add c.count n)
+let count c = Atomic.get c.count
 let counter_name c = c.c_name
 
-let set g v = g.value <- v
-let set_max g v = if v > g.value then g.value <- v
-let value g = g.value
+let set g v = Atomic.set g.value v
+
+(* Peak tracking needs a CAS loop: two domains racing to raise the
+   gauge must both land at the true maximum. *)
+let rec set_max g v =
+  let cur = Atomic.get g.value in
+  if v > cur && not (Atomic.compare_and_set g.value cur v) then set_max g v
+
+let value g = Atomic.get g.value
 let gauge_name g = g.g_name
 
 (* Bit length of [v]: bucket [i] covers [2^(i-1), 2^i). *)
@@ -85,21 +113,24 @@ let bucket_of v =
 let observe h v =
   let v = if v < 0 then 0 else v in
   let b = bucket_of v in
-  h.buckets.(b) <- h.buckets.(b) + 1;
-  h.h_count <- h.h_count + 1;
-  h.sum <- h.sum + v;
-  if v > h.max then h.max <- v
+  locked h.h_mu (fun () ->
+      h.buckets.(b) <- h.buckets.(b) + 1;
+      h.h_count <- h.h_count + 1;
+      h.sum <- h.sum + v;
+      if v > h.max then h.max <- v)
 
 let histogram_name h = h.h_name
-let histogram_count h = h.h_count
-let histogram_sum h = h.sum
-let histogram_max h = h.max
+let histogram_count h = locked h.h_mu (fun () -> h.h_count)
+let histogram_sum h = locked h.h_mu (fun () -> h.sum)
+let histogram_max h = locked h.h_mu (fun () -> h.max)
 
 let histogram_mean h =
-  if h.h_count = 0 then 0.0 else float_of_int h.sum /. float_of_int h.h_count
+  locked h.h_mu (fun () ->
+      if h.h_count = 0 then 0.0
+      else float_of_int h.sum /. float_of_int h.h_count)
 
 (* Nonzero (bucket-upper-bound, count) pairs, low to high. *)
-let histogram_buckets h =
+let histogram_buckets_unlocked h =
   let acc = ref [] in
   for i = Array.length h.buckets - 1 downto 0 do
     if h.buckets.(i) > 0 then
@@ -108,16 +139,20 @@ let histogram_buckets h =
   done;
   !acc
 
+let histogram_buckets h = locked h.h_mu (fun () -> histogram_buckets_unlocked h)
+
 let reset reg =
-  Hashtbl.iter (fun _ c -> c.count <- 0) reg.counters;
-  Hashtbl.iter (fun _ g -> g.value <- 0.0) reg.gauges;
-  Hashtbl.iter
-    (fun _ h ->
-      Array.fill h.buckets 0 (Array.length h.buckets) 0;
-      h.h_count <- 0;
-      h.sum <- 0;
-      h.max <- 0)
-    reg.histograms
+  locked reg.mu (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.count 0) reg.counters;
+      Hashtbl.iter (fun _ g -> Atomic.set g.value 0.0) reg.gauges;
+      Hashtbl.iter
+        (fun _ h ->
+          locked h.h_mu (fun () ->
+              Array.fill h.buckets 0 (Array.length h.buckets) 0;
+              h.h_count <- 0;
+              h.sum <- 0;
+              h.max <- 0))
+        reg.histograms)
 
 type entry =
   | Counter of string * int
@@ -125,19 +160,29 @@ type entry =
   | Histogram of string * int * int * int * (int * int) list
       (** name, count, sum, max, buckets *)
 
+(* The whole walk happens under the registry mutex so concurrent
+   interning (a Hashtbl resize mid-read) cannot corrupt it; the
+   per-histogram mutex nests inside (same order as [reset]). *)
 let snapshot reg =
-  List.filter_map
-    (fun name ->
-      match Hashtbl.find_opt reg.counters name with
-      | Some c -> Some (Counter (name, c.count))
-      | None -> (
-        match Hashtbl.find_opt reg.gauges name with
-        | Some g -> Some (Gauge (name, g.value))
-        | None ->
-          Hashtbl.find_opt reg.histograms name
-          |> Option.map (fun h ->
-                 Histogram (name, h.h_count, h.sum, h.max, histogram_buckets h))))
-    (List.rev reg.order)
+  locked reg.mu (fun () ->
+      List.filter_map
+        (fun name ->
+          match Hashtbl.find_opt reg.counters name with
+          | Some c -> Some (Counter (name, count c))
+          | None -> (
+            match Hashtbl.find_opt reg.gauges name with
+            | Some g -> Some (Gauge (name, value g))
+            | None ->
+              Hashtbl.find_opt reg.histograms name
+              |> Option.map (fun h ->
+                     locked h.h_mu (fun () ->
+                         Histogram
+                           ( name,
+                             h.h_count,
+                             h.sum,
+                             h.max,
+                             histogram_buckets_unlocked h )))))
+        (List.rev reg.order))
 
 let to_json reg =
   Json.Obj

@@ -1,5 +1,7 @@
 (** Metrics registry: named counters, gauges and log2-bucketed
-    histograms with plain (atomic-free, single-domain) updates.
+    histograms, safe to update from any domain (counters and gauges are
+    atomic cells; histograms, interning, snapshots and resets are
+    mutex-guarded).
 
     Handles are interned by name — [counter reg "x"] always returns the
     same cell — so instrument sites may re-resolve by name instead of

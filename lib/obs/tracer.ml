@@ -12,6 +12,7 @@
 type span = {
   name : string;
   cat : string;
+  dom : int;  (* id of the domain that ran the region *)
   ts_ns : int64;  (* start, monotonic *)
   dur_ns : int64;
   args : (string * Json.t) list;
@@ -20,6 +21,7 @@ type span = {
 type instant = {
   i_name : string;
   i_cat : string;
+  i_dom : int;
   i_ts_ns : int64;
   i_args : (string * Json.t) list;
 }
@@ -30,9 +32,20 @@ type sink = {
   flush : unit -> unit;
 }
 
-type t = { mutable sinks : sink list; epoch_ns : int64 }
+(* Sinks write to shared out_channels, so event emission and flushing
+   are serialised by [mu]: spans from parallel worker domains interleave
+   whole events, never bytes.  The sinkless fast path stays lock-free
+   (reading [sinks] unlocked is a benign race: sinks are installed
+   before domains are spawned). *)
+type t = { mutable sinks : sink list; epoch_ns : int64; mu : Mutex.t }
 
-let create () = { sinks = []; epoch_ns = Clock.now_ns () }
+let create () = { sinks = []; epoch_ns = Clock.now_ns (); mu = Mutex.create () }
+
+let self_dom () = (Domain.self () :> int)
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
 (* The disabled tracer: shared, sinkless, and the default global. *)
 let disabled = create ()
@@ -40,15 +53,31 @@ let disabled = create ()
 let add_sink t sink = t.sinks <- t.sinks @ [ sink ]
 let enabled t = t.sinks <> []
 
+(* The process-wide tracer is what built-in instrumentation reports to
+   by default, from every domain (so portfolio worker spans land on the
+   main trace, one Perfetto row per domain).  [with_global] installs a
+   *domain-local* override on top: a worker swapping tracers (e.g. the
+   fuzz telemetry oracle, whose sink channel it also owns and closes)
+   must not redirect the other domains' spans, or restore a tracer
+   whose channel another domain has since closed. *)
 let the_tracer = ref disabled
-let global () = !the_tracer
+let override : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let global () =
+  match Domain.DLS.get override with Some t -> t | None -> !the_tracer
+
 let set_global t = the_tracer := t
+
+let with_global t f =
+  let saved = Domain.DLS.get override in
+  Domain.DLS.set override (Some t);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set override saved) f
 
 let no_args () = []
 
 let emit_span t ~name ~cat ~args ~ts_ns ~dur_ns =
-  let span = { name; cat; ts_ns; dur_ns; args = args () } in
-  List.iter (fun s -> s.on_span span) t.sinks
+  let span = { name; cat; dom = self_dom (); ts_ns; dur_ns; args = args () } in
+  locked t (fun () -> List.iter (fun s -> s.on_span span) t.sinks)
 
 let with_span t ?(cat = "icv") ?(args = no_args) name f =
   if t.sinks == [] then f ()
@@ -66,12 +95,18 @@ let with_span t ?(cat = "icv") ?(args = no_args) name f =
 let instant t ?(cat = "icv") ?(args = no_args) name =
   if t.sinks != [] then begin
     let ev =
-      { i_name = name; i_cat = cat; i_ts_ns = Clock.now_ns (); i_args = args () }
+      {
+        i_name = name;
+        i_cat = cat;
+        i_dom = self_dom ();
+        i_ts_ns = Clock.now_ns ();
+        i_args = args ();
+      }
     in
-    List.iter (fun s -> s.on_instant ev) t.sinks
+    locked t (fun () -> List.iter (fun s -> s.on_instant ev) t.sinks)
   end
 
-let flush t = List.iter (fun s -> s.flush ()) t.sinks
+let flush t = locked t (fun () -> List.iter (fun s -> s.flush ()) t.sinks)
 
 (* Microseconds relative to the tracer's epoch, as a float to keep
    sub-microsecond resolution in Perfetto's timeline. *)
@@ -99,6 +134,7 @@ let jsonl_sink t oc =
                 ("type", Json.String "span");
                 ("name", Json.String s.name);
                 ("cat", Json.String s.cat);
+                ("dom", Json.Int s.dom);
                 ("ts_us", Json.Float (rel_us t.epoch_ns s.ts_ns));
                 ("dur_us", Json.Float (Int64.to_float s.dur_ns /. 1e3));
               ]
@@ -111,6 +147,7 @@ let jsonl_sink t oc =
                 ("type", Json.String "instant");
                 ("name", Json.String i.i_name);
                 ("cat", Json.String i.i_cat);
+                ("dom", Json.Int i.i_dom);
                 ("ts_us", Json.Float (rel_us t.epoch_ns i.i_ts_ns));
               ]
              @ args_json i.i_args)));
@@ -132,20 +169,22 @@ let chrome_sink t oc =
       output_string oc (Json.to_string (Json.Obj fields))
     end
   in
-  let common name cat ts_ns =
+  (* The originating domain becomes the trace thread id, so Perfetto
+     lays parallel workers out as separate tracks. *)
+  let common name cat dom ts_ns =
     [
       ("name", Json.String name);
       ("cat", Json.String cat);
       ("ts", Json.Float (rel_us t.epoch_ns ts_ns));
       ("pid", Json.Int 1);
-      ("tid", Json.Int 1);
+      ("tid", Json.Int dom);
     ]
   in
   {
     on_span =
       (fun s ->
         event
-          (common s.name s.cat s.ts_ns
+          (common s.name s.cat s.dom s.ts_ns
           @ [
               ("ph", Json.String "X");
               ("dur", Json.Float (Int64.to_float s.dur_ns /. 1e3));
@@ -154,7 +193,7 @@ let chrome_sink t oc =
     on_instant =
       (fun i ->
         event
-          (common i.i_name i.i_cat i.i_ts_ns
+          (common i.i_name i.i_cat i.i_dom i.i_ts_ns
           @ [ ("ph", Json.String "i"); ("s", Json.String "t") ]
           @ args_json i.i_args));
     flush =

@@ -3,13 +3,19 @@
     [with_span] times a region on the monotonic clock and reports a
     completed span to every sink; with no sinks installed the overhead
     is a physical-equality check, so instrumentation stays in hot loops
-    unconditionally.  Spans close even when the region raises. *)
+    unconditionally.  Spans close even when the region raises.
+
+    Domain-safety: event emission and flushing are serialised by a
+    per-tracer mutex (sinks share out_channels), and each event records
+    the domain it came from.  Install sinks before spawning domains --
+    the sinkless fast path reads the sink list without the lock. *)
 
 type t
 
 type span = {
   name : string;
   cat : string;
+  dom : int;  (** id of the domain that ran the region *)
   ts_ns : int64;  (** start, monotonic *)
   dur_ns : int64;
   args : (string * Json.t) list;
@@ -18,6 +24,7 @@ type span = {
 type instant = {
   i_name : string;
   i_cat : string;
+  i_dom : int;
   i_ts_ns : int64;
   i_args : (string * Json.t) list;
 }
@@ -38,10 +45,20 @@ val add_sink : t -> sink -> unit
 val enabled : t -> bool
 
 val global : unit -> t
-(** The process-wide tracer used by built-in instrumentation;
-    [disabled] until [set_global]. *)
+(** The tracer built-in instrumentation reports to: the calling
+    domain's [with_global] override if one is active, else the
+    process-wide tracer ([disabled] until [set_global]). *)
 
 val set_global : t -> unit
+(** Install the process-wide tracer (seen by every domain without an
+    override).  Call from the main domain before spawning workers. *)
+
+val with_global : t -> (unit -> 'a) -> 'a
+(** Run the thunk with [t] as this domain's tracer ([global ()] returns
+    [t] on this domain only, restored on exit even on raise).  Use this
+    for scoped tracer swaps in code that may run on a worker domain --
+    unlike [set_global] it cannot redirect other domains' spans or
+    leave them pointing at a tracer whose sink channel was closed. *)
 
 val with_span :
   t -> ?cat:string -> ?args:(unit -> (string * Json.t) list) -> string ->

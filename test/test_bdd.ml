@@ -600,6 +600,46 @@ let test_reorder_interleaves () =
       (Bdd.size eq' < before)
   | _ -> Alcotest.fail "one root expected")
 
+let test_reorder_apply_validates () =
+  (* [apply] checks the permutation against the SOURCE manager (the
+     formerly unused parameter): every source level must map to an
+     allocated, distinct target level, instead of failing deep inside
+     node construction or silently aliasing two levels. *)
+  let man, vars = Testutil.fresh_man 4 in
+  let f = Bdd.band man (Bdd.var man vars.(0)) (Bdd.var man vars.(3)) in
+  let small = Bdd.create () in
+  let _ = List.init 2 (fun _ -> Bdd.new_var small) in
+  Alcotest.check_raises "unallocated target level"
+    (Invalid_argument "Reorder.apply: level 2 maps to 2, not allocated in dst")
+    (fun () ->
+      ignore (Bdd.Reorder.apply ~dst:small man [ f ] (Array.init 4 Fun.id)));
+  let dst = Bdd.create () in
+  let _ = List.init 4 (fun _ -> Bdd.new_var dst) in
+  Alcotest.check_raises "non-injective permutation"
+    (Invalid_argument
+       "Reorder.apply: permutation not injective (levels 0 and 1 both map \
+        to 0)")
+    (fun () -> ignore (Bdd.Reorder.apply ~dst man [ f ] [| 0; 0; 2; 3 |]));
+  (* A valid non-monotone (reversing) permutation passes validation and
+     preserves semantics. *)
+  let rev = Array.init 4 (fun i -> 3 - i) in
+  match Bdd.Reorder.apply ~dst man [ f ] rev with
+  | [ f' ] ->
+    Alcotest.(check bool) "reversal preserves semantics" true
+      (List.for_all
+         (fun env ->
+           let permuted = Array.make 4 false in
+           Array.iteri (fun l v -> permuted.(rev.(l)) <- v) env;
+           Bdd.eval dst permuted f'
+           = (env.(vars.(0)) && env.(vars.(3))))
+         (List.map Array.of_list
+            [
+              [ false; false; false; false ]; [ true; false; false; false ];
+              [ true; false; false; true ]; [ false; true; true; false ];
+              [ true; true; true; true ]; [ false; true; false; true ];
+            ]))
+  | _ -> Alcotest.fail "one root expected"
+
 (* --- Properties ------------------------------------------------------ *)
 
 let with_expr e k =
@@ -914,6 +954,8 @@ let () =
             test_weak_table_gc;
           Alcotest.test_case "sifting recovers grouped order" `Quick
             test_sift_recovers_grouped_order;
+          Alcotest.test_case "apply validates against the source manager"
+            `Quick test_reorder_apply_validates;
           Alcotest.test_case "computed table integrity under eviction"
             `Quick test_computed_table_integrity;
           Alcotest.test_case "computed table generation invalidation"

@@ -157,6 +157,41 @@ let prop_threshold_zero_keeps es =
   let after = Ici.Policy.greedy_evaluate man ~grow_threshold:0.0 normalised in
   Ici.Clist.length after = Ici.Clist.length normalised
 
+let test_pair_cache_persists () =
+  (* The Figure-1 pair table is caller-held state: scores computed in
+     one [improve] call (one traversal iteration) must be reused by the
+     next call when the conjuncts did not change -- and must be dropped
+     after a gc moves the manager's generation, since cached BDD values
+     may be dead. *)
+  let man, vars = Testutil.fresh_man 4 in
+  let xs = List.init 4 (fun i -> Bdd.var man vars.(i)) in
+  let before_conj = Bdd.conj man xs in
+  (* Threshold 0: every pair gets scored, none merged, so the list is
+     stable across iterations and every pair key recurs. *)
+  let cfg = { Ici.Policy.default with grow_threshold = 0.0 } in
+  let st = Ici.Policy.create_state () in
+  let hits =
+    Obs.Registry.counter Obs.Registry.default "policy.pair_cache_hits"
+  in
+  let run () =
+    Ici.Policy.improve man ~state:st cfg (Ici.Clist.of_list man xs)
+  in
+  let r1 = run () in
+  let h0 = Obs.Registry.count hits in
+  let r2 = run () in
+  let h1 = Obs.Registry.count hits in
+  Alcotest.(check bool) "second improve hits the persisted pair cache" true
+    (h1 > h0);
+  Alcotest.(check bool) "semantics preserved" true
+    (Bdd.equal before_conj (Ici.Clist.force man r1)
+    && Bdd.equal before_conj (Ici.Clist.force man r2));
+  (* After a gc the cached BDDs may be dead: the table must invalidate,
+     so the next call re-scores instead of hitting. *)
+  Bdd.gc man;
+  ignore (run ());
+  let h2 = Obs.Registry.count hits in
+  Alcotest.(check int) "gc invalidates the pair cache" h1 h2
+
 (* --- Matching ----------------------------------------------------------- *)
 
 (* Brute-force reference written independently of the DP. *)
@@ -272,6 +307,71 @@ let test_stats_simplifications () =
   Alcotest.(check bool) "theorem-3 restricts counted" true
     (stats.simplifications >= 1)
 
+let test_memo_survives_fuel_retry () =
+  (* Caller-held memo table across fuel retries: verdicts settled by a
+     starved attempt must survive its [Out_of_fuel] escape, so a retry
+     at the SAME fuel converges (a fresh table at that fuel provably
+     cannot) and its stats record hits on the survived entries.
+
+     The "staircase" family makes that deterministic: block i is a
+     2-variable tautology guarded by "x_i is the first true x", so the
+     Shannon recursion burns one expansion per x going down, then
+     completes (and memoises) one staircase tail per expansion coming
+     back up.  Cold cost is 2k expansions; a starved attempt at k+2
+     stores the deepest tails, and the retry hits them instead of
+     re-descending. *)
+  let man = Bdd.create () in
+  let k = 6 in
+  let blocks =
+    List.init k (fun _ ->
+        let x = Bdd.new_var man in
+        let u = Bdd.new_var man in
+        let v = Bdd.new_var man in
+        (x, u, v))
+  in
+  let members =
+    let rec go prefix = function
+      | [] -> [ prefix ] (* the all-x-false leftover *)
+      | (x, u, v) :: rest ->
+        let xi = Bdd.var man x and ui = Bdd.var man u and vi = Bdd.var man v in
+        let here = Bdd.band man prefix xi in
+        [ Bdd.band man here (Bdd.band man ui vi);
+          Bdd.band man here (Bdd.band man ui (Bdd.bnot man vi));
+          Bdd.band man here (Bdd.bnot man ui) ]
+        @ go (Bdd.band man prefix (Bdd.bnot man xi)) rest
+    in
+    go (Bdd.tru man) blocks
+  in
+  let starved = k + 2 in
+  Alcotest.check_raises "fresh table at starved fuel dies"
+    Ici.Tautology.Out_of_fuel (fun () ->
+      ignore (Ici.Tautology.check ~simplify:false ~fuel:starved man members));
+  let table = Ici.Tautology.create_memo () in
+  let exhausted = ref 0 in
+  let rec retry rounds =
+    if rounds > 50 then
+      Alcotest.fail "shared memo table never accumulated enough progress"
+    else begin
+      (* Fresh stats per attempt: [fuel] bounds a single attempt's
+         expansions, and we want the converging attempt's own hits. *)
+      let stats = Ici.Tautology.fresh_stats () in
+      match
+        Ici.Tautology.check ~simplify:false ~fuel:starved ~memo_table:table
+          ~stats man members
+      with
+      | v -> (v, stats)
+      | exception Ici.Tautology.Out_of_fuel ->
+        incr exhausted;
+        retry (rounds + 1)
+    end
+  in
+  let verdict, stats = retry 0 in
+  Alcotest.(check bool) "verdict correct" true verdict;
+  Alcotest.(check bool) "at least one starved attempt preceded" true
+    (!exhausted >= 1);
+  Alcotest.(check bool) "memo hits grew across the retry" true
+    (stats.Ici.Tautology.memo_hits > 0)
+
 let qtest2 ?(count = 150) name prop =
   let gen = QCheck2.Gen.pair gen_list gen_list in
   let print (a, b) = print_list a ^ " // " ^ print_list b in
@@ -315,6 +415,8 @@ let () =
           qtest "infinite threshold collapses to one conjunct"
             prop_huge_threshold_collapses;
           qtest "zero threshold evaluates nothing" prop_threshold_zero_keeps;
+          Alcotest.test_case "pair cache persists across improve calls"
+            `Quick test_pair_cache_persists;
         ] );
       ( "matching",
         [ qtest_costs "optimal pairwise cover vs brute force"
@@ -325,6 +427,8 @@ let () =
           Alcotest.test_case "fuel and stats" `Quick test_tautology_fuel;
           Alcotest.test_case "simplification stats" `Quick
             test_stats_simplifications;
+          Alcotest.test_case "memo survives fuel retries" `Quick
+            test_memo_survives_fuel_retry;
           qtest "exact vs built disjunction (all strategies)"
             prop_tautology_exact;
           qtest2 "implication exact" prop_implies_exact;

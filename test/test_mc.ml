@@ -272,6 +272,135 @@ let test_concrete_replay_on_models () =
         meths)
     cases
 
+(* --- good set collapsing to [false] (xici.ml's empty-core branch) ---- *)
+
+(* One state bit that toggles every step; init and the property are both
+   "b".  The first back image is ~b, so improve([b; ~b]) collapses the
+   good set to [false] while init is nonempty: the reconstruction branch
+   under test must synthesise a violation trace, and that trace must
+   replay concretely through [Fsm.Trans.step]. *)
+let toggle_model () =
+  let sp = Fsm.Space.create () in
+  let b = Fsm.Space.state_bit ~name:"b" sp in
+  let man = Fsm.Space.man sp in
+  let cur = Fsm.Space.cur sp b in
+  let trans = Fsm.Trans.make sp ~assigns:[ (b, Bdd.bnot man cur) ] in
+  Mc.Model.make ~name:"toggle" ~space:sp ~trans ~init:cur ~good:[ cur ] ()
+
+let test_collapse_counterexample () =
+  List.iter
+    (fun termination ->
+      let model = toggle_model () in
+      let man = Mc.Model.man model in
+      let r = Mc.Xici.run ~limits ~termination model in
+      match r.Mc.Report.status with
+      | Mc.Report.Violated tr ->
+        Alcotest.(check bool) "trace validates" true
+          (Mc.Trace.validate model.Mc.Model.trans ~init:model.Mc.Model.init
+             ~good:(Ici.Clist.of_list man (Mc.Model.property model))
+             tr);
+        (match Fuzz.Oracle.replay model tr with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail ("trace does not replay: " ^ e));
+        (* Shortest violation: b=1 then b=0, two states. *)
+        Alcotest.(check int) "trace length" 2 (List.length tr)
+      | Mc.Report.Proved | Mc.Report.Exceeded _ ->
+        Alcotest.fail "collapsed good set should yield a violation")
+    [ `Exact_equal; `Exact_implication; `Pointwise ]
+
+(* --- freeze / thaw ---------------------------------------------------- *)
+
+let test_freeze_thaw_roundtrip () =
+  List.iter
+    (fun good_limit ->
+      let model = counter_model ~good_limit in
+      let copy = Mc.Parallel.thaw (Mc.Parallel.freeze model) in
+      Alcotest.(check string) "name survives" model.Mc.Model.name
+        copy.Mc.Model.name;
+      Alcotest.(check (list int))
+        "state levels survive"
+        (Fsm.Space.current_levels model.Mc.Model.space)
+        (Fsm.Space.current_levels copy.Mc.Model.space);
+      let r0 = Mc.Runner.run ~limits Mc.Runner.Xici model in
+      let r1 = Mc.Runner.run ~limits Mc.Runner.Xici copy in
+      Alcotest.(check string) "verdict survives"
+        (Mc.Report.status_string r0) (Mc.Report.status_string r1);
+      Alcotest.(check int) "iteration count survives" r0.Mc.Report.iterations
+        r1.Mc.Report.iterations;
+      match r1.Mc.Report.status with
+      | Mc.Report.Violated tr -> (
+        match Fuzz.Oracle.replay copy tr with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail ("thawed trace does not replay: " ^ e))
+      | Mc.Report.Proved | Mc.Report.Exceeded _ -> ())
+    [ 2; 3 ]
+
+let test_freeze_thaw_corrupt () =
+  let frozen = Mc.Parallel.freeze (counter_model ~good_limit:3) in
+  Alcotest.(check bool) "corrupt input raises" true
+    (match Mc.Parallel.thaw ("garbage " ^ frozen) with
+    | (_ : Mc.Model.t) -> false
+    | exception Mc.Parallel.Corrupt _ -> true)
+
+(* --- portfolio vs sequential ------------------------------------------ *)
+
+let test_portfolio_matches_sequential () =
+  List.iter
+    (fun good_limit ->
+      let seq = Mc.Runner.run ~limits Mc.Runner.Xici (counter_model ~good_limit) in
+      let res =
+        Mc.Parallel.portfolio ~domains:2 ~limits (counter_model ~good_limit)
+      in
+      Alcotest.(check bool) "at least two domains" true
+        (res.Mc.Parallel.domains_used = 2);
+      match res.Mc.Parallel.winner with
+      | None -> Alcotest.fail "portfolio should decide"
+      | Some (_, r) ->
+        Alcotest.(check bool) "winner is decided" true (Mc.Parallel.decided r);
+        Alcotest.(check bool) "verdict agrees with sequential" true
+          (Mc.Report.is_proved r = Mc.Report.is_proved seq))
+    [ 2; 3 ]
+
+let prop_portfolio_agreement spec =
+  (* The racing configs are all sound, so whichever wins must agree with
+     the explicit-state reference. *)
+  let model = Testmachines.build_model spec in
+  let res = Mc.Parallel.portfolio ~domains:2 ~limits model in
+  match res.Mc.Parallel.winner with
+  | Some (_, r) -> (
+    let expected = Testmachines.reference_verdict spec in
+    match r.Mc.Report.status with
+    | Mc.Report.Proved -> expected
+    | Mc.Report.Violated _ -> not expected
+    | Mc.Report.Exceeded _ -> false)
+  | None -> false
+
+(* --- parallel pair scoring -------------------------------------------- *)
+
+let test_pair_evaluator_equivalence () =
+  (* The parallel evaluator's lex-min (ratio, i, j) rule matches the
+     sequential first-minimum rule, so the whole fixpoint trajectory --
+     not just the verdict -- must be identical. *)
+  List.iter
+    (fun good_limit ->
+      let seq = Mc.Runner.run ~limits Mc.Runner.Xici (counter_model ~good_limit) in
+      let evaluator = Mc.Parallel.pair_evaluator ~min_conjuncts:2 ~domains:2 () in
+      let par =
+        Mc.Runner.run ~limits ~evaluator Mc.Runner.Xici
+          (counter_model ~good_limit)
+      in
+      Alcotest.(check string) "same verdict" (Mc.Report.status_string seq)
+        (Mc.Report.status_string par);
+      Alcotest.(check int) "same iteration count" seq.Mc.Report.iterations
+        par.Mc.Report.iterations)
+    [ 2; 3 ]
+
+let prop_pair_evaluator_agreement spec =
+  let model = Testmachines.build_model spec in
+  let evaluator = Mc.Parallel.pair_evaluator ~min_conjuncts:2 ~domains:2 () in
+  let report = Mc.Runner.run ~limits ~evaluator Mc.Runner.Xici model in
+  verdict_matches spec report && trace_valid model report
+
 let test_validate_rejects_bogus () =
   let model = counter_model ~good_limit:2 in
   let man = Mc.Model.man model in
@@ -302,6 +431,23 @@ let () =
           Alcotest.test_case "bug-model traces replay concretely" `Quick
             test_concrete_replay_on_models;
           Alcotest.test_case "inductiveness checker" `Quick test_induction;
+          Alcotest.test_case "collapsed good set reconstructs a trace" `Quick
+            test_collapse_counterexample;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "freeze/thaw round-trip" `Quick
+            test_freeze_thaw_roundtrip;
+          Alcotest.test_case "thaw rejects corrupt input" `Quick
+            test_freeze_thaw_corrupt;
+          Alcotest.test_case "portfolio verdict matches sequential" `Quick
+            test_portfolio_matches_sequential;
+          Alcotest.test_case "pair evaluator preserves the trajectory" `Quick
+            test_pair_evaluator_equivalence;
+          qtest ~count:20 "portfolio agrees with explicit-state reference"
+            prop_portfolio_agreement;
+          qtest ~count:20 "parallel pair scoring agrees with reference"
+            prop_pair_evaluator_agreement;
         ] );
       ( "agreement with explicit-state reference",
         [
