@@ -673,6 +673,175 @@ let bench_parallel budgets ~domains =
           :: !json_rows)
     cases
 
+(* Daemon throughput: a resident icvd on a Unix socket under synthetic
+   many-client load (each client is a domain with its own connection
+   submitting a batch of small jobs), plus an overload row against a
+   deliberately tiny daemon showing that excess submissions are
+   rejected explicitly instead of queueing without bound.  Wall-clock
+   jobs/sec; verdict work is the same fifo/filter jobs icv runs. *)
+let bench_daemon _budgets ~domains ~quick =
+  head "=== Daemon: throughput under many-client load ===";
+  let dir = Filename.temp_file "icvd-bench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let with_daemon cfg f =
+    let ready = Atomic.make false in
+    let d =
+      Domain.spawn (fun () ->
+          Srv.Daemon.run ~on_ready:(fun () -> Atomic.set ready true) cfg)
+    in
+    while not (Atomic.get ready) do
+      Unix.sleepf 0.005
+    done;
+    Fun.protect
+      ~finally:(fun () ->
+        (match cfg.Srv.Daemon.socket_path with
+        | Some sock -> (
+          (* ask for a drain and wait for the loop to return *)
+          try
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_UNIX sock);
+            let line = Srv.Protocol.to_line (Obs.Json.Obj [ ("type", Obs.Json.String "shutdown") ]) in
+            ignore (Unix.write fd (Bytes.of_string line) 0 (String.length line));
+            Unix.close fd
+          with Unix.Unix_error _ -> ())
+        | None -> ());
+        Domain.join d)
+      f
+  in
+  (* One synthetic client: submit [lines], block until every submitted
+     id is resolved (result or rejection), count both. *)
+  let run_client sock lines =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX sock);
+    let oc = Unix.out_channel_of_descr fd in
+    let ic = Unix.in_channel_of_descr fd in
+    let pending = Hashtbl.create 64 in
+    List.iter
+      (fun l ->
+        (match Obs.Json.member "id" (Obs.Json.of_string l) with
+        | Some (Obs.Json.String id) -> Hashtbl.replace pending id ()
+        | _ -> ());
+        output_string oc l;
+        output_char oc '\n')
+      lines;
+    flush oc;
+    let resolved = ref 0 and rejected = ref 0 in
+    (try
+       while Hashtbl.length pending > 0 do
+         let line = input_line ic in
+         let json = Obs.Json.of_string line in
+         let typ = Option.bind (Obs.Json.member "type" json) Obs.Json.to_str in
+         let id = Option.bind (Obs.Json.member "id" json) Obs.Json.to_str in
+         match (typ, id) with
+         | Some "result", Some id ->
+           incr resolved;
+           Hashtbl.remove pending id
+         | Some "rejected", Some id ->
+           incr rejected;
+           Hashtbl.remove pending id
+         | _ -> ()
+       done
+     with End_of_file -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    (!resolved, !rejected)
+  in
+  let job id family extra =
+    Printf.sprintf "{\"id\":%S,\"model\":{\"family\":%S%s},\"method\":\"xici\"}"
+      id family extra
+  in
+  (* Throughput row *)
+  let sock = Filename.concat dir "icvd-bench.sock" in
+  let clients = 4 in
+  let per_client = if quick then 8 else 32 in
+  let throughput_row =
+    with_daemon
+      {
+        Srv.Daemon.default_config with
+        socket_path = Some sock;
+        workers = max 2 domains;
+        queue_capacity = 4096;
+        tick_s = 0.01;
+      }
+      (fun () ->
+        let t0 = Unix.gettimeofday () in
+        let doms =
+          List.init clients (fun c ->
+              Domain.spawn (fun () ->
+                  let lines =
+                    List.init per_client (fun j ->
+                        let id = Printf.sprintf "c%d-j%d" c j in
+                        if j mod 4 = 3 then
+                          job id "filter" ",\"depth\":4"
+                        else job id "fifo" "")
+                  in
+                  run_client sock lines))
+        in
+        let results = List.map Domain.join doms in
+        let wall = Unix.gettimeofday () -. t0 in
+        let resolved = List.fold_left (fun a (r, _) -> a + r) 0 results in
+        let rejected = List.fold_left (fun a (_, r) -> a + r) 0 results in
+        let jps = if wall > 0.0 then float_of_int resolved /. wall else 0.0 in
+        Format.printf
+          "  %d clients x %d jobs on %d workers: %d resolved, %d rejected, \
+           %.2fs wall, %.1f jobs/s@.%!"
+          clients per_client (max 2 domains) resolved rejected wall jps;
+        Obs.Json.Obj
+          [
+            ("scenario", Obs.Json.String "throughput");
+            ("clients", Obs.Json.Int clients);
+            ("jobs_per_client", Obs.Json.Int per_client);
+            ("workers", Obs.Json.Int (max 2 domains));
+            ("resolved", Obs.Json.Int resolved);
+            ("rejected", Obs.Json.Int rejected);
+            ("wall_seconds", Obs.Json.Float wall);
+            ("jobs_per_s", Obs.Json.Float jps);
+          ])
+  in
+  (* Overload row: one worker, a queue of 4 and a burst of slow jobs;
+     the surplus must come back as explicit rejections. *)
+  let sock2 = Filename.concat dir "icvd-overload.sock" in
+  let overload_row =
+    with_daemon
+      {
+        Srv.Daemon.default_config with
+        socket_path = Some sock2;
+        workers = 1;
+        queue_capacity = 4;
+        default_deadline_s = Some 60.0;
+        tick_s = 0.01;
+      }
+      (fun () ->
+        let burst = 12 in
+        let lines =
+          List.init burst (fun j ->
+              (* power-of-2 depth (the filter model asserts it); the
+                 whole burst lands in one socket write, so the surplus
+                 over 1 running + 4 queued must bounce *)
+              job (Printf.sprintf "burst-%d" j) "filter"
+                (if quick then ",\"depth\":4" else ",\"depth\":8"))
+        in
+        let t0 = Unix.gettimeofday () in
+        let resolved, rejected = run_client sock2 lines in
+        let wall = Unix.gettimeofday () -. t0 in
+        Format.printf
+          "  overload burst of %d on 1 worker (queue 4): %d resolved, %d \
+           rejected explicitly, %.2fs wall@.%!"
+          burst resolved rejected wall;
+        Obs.Json.Obj
+          [
+            ("scenario", Obs.Json.String "overload");
+            ("burst", Obs.Json.Int burst);
+            ("workers", Obs.Json.Int 1);
+            ("queue_capacity", Obs.Json.Int 4);
+            ("resolved", Obs.Json.Int resolved);
+            ("rejected", Obs.Json.Int rejected);
+            ("wall_seconds", Obs.Json.Float wall);
+          ])
+  in
+  if !json_mode then json_rows := [ overload_row; throughput_row ];
+  (try Unix.rmdir dir with Unix.Unix_error _ | Sys_error _ -> ())
+
 let ablations budgets =
   ablation_worstcase budgets;
   ablation_reorder budgets;
@@ -750,8 +919,8 @@ let bechamel_suite () =
 (* Command line                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let run tables run_ablations run_bechamel run_checkpoint parallel max_live
-    max_seconds quick json =
+let run tables run_ablations run_bechamel run_checkpoint parallel daemon
+    max_live max_seconds quick json =
   json_mode := json;
   let budgets =
     if quick then
@@ -760,7 +929,7 @@ let run tables run_ablations run_bechamel run_checkpoint parallel max_live
   in
   let all =
     tables = [] && (not run_ablations) && (not run_bechamel)
-    && (not run_checkpoint) && parallel = 0
+    && (not run_checkpoint) && parallel = 0 && not daemon
   in
   let wants t = all || List.mem t tables in
   if wants 1 then
@@ -774,6 +943,9 @@ let run tables run_ablations run_bechamel run_checkpoint parallel max_live
   if parallel > 0 then
     with_json_artifact "BENCH_parallel.json" (fun () ->
         bench_parallel budgets ~domains:(max 2 parallel));
+  if daemon then
+    with_json_artifact "BENCH_daemon.json" (fun () ->
+        bench_daemon budgets ~domains:(max 2 parallel) ~quick);
   if run_bechamel || all then bechamel_suite ();
   head "done."
 
@@ -805,6 +977,15 @@ let () =
              against the sequential config sweep (Table-1 models).  Writes \
              BENCH_parallel.json under --json.")
   in
+  let daemon =
+    Arg.(
+      value & flag
+      & info [ "daemon" ]
+          ~doc:
+            "Benchmark icvd throughput under synthetic many-client load \
+             (jobs/sec) plus an overload-rejection scenario.  Writes \
+             BENCH_daemon.json under --json.")
+  in
   let max_live =
     Arg.(
       value & opt int default_max_live
@@ -835,6 +1016,6 @@ let () =
       (Cmd.info "bench" ~doc:"Regenerate the paper's tables and ablations")
       Term.(
         const run $ tables $ ablations_flag $ bechamel $ checkpoint
-        $ parallel $ max_live $ max_seconds $ quick $ json)
+        $ parallel $ daemon $ max_live $ max_seconds $ quick $ json)
   in
   exit (Cmd.eval cmd)

@@ -156,7 +156,17 @@ let run_checked model_name depth width procs regs bound assisted bug meth_name
         | None -> failwith (Printf.sprintf "unknown method %S" meth_name)
     in
     let resume_from =
-      Option.map (Mc.Checkpoint.load (Mc.Model.man model)) resume
+      (* A missing/truncated/corrupt checkpoint degrades to a cold
+         start (with a warning): --resume is opportunistic, and failing
+         the whole run over an unusable snapshot would make resumption
+         strictly worse than never checkpointing. *)
+      Option.bind resume (fun path ->
+          match Mc.Checkpoint.load_opt (Mc.Model.man model) path with
+          | Some cp -> Some cp
+          | None ->
+            Format.eprintf
+              "icv: checkpoint %s missing or unusable; starting cold@." path;
+            None)
     in
     Format.printf "%s@." Mc.Report.header;
     List.iter

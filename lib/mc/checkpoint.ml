@@ -203,8 +203,25 @@ let load man path =
   let ic = open_in path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read man ic)
 
+(* Resumption must never be worse than a cold start: a checkpoint file
+   that is truncated (the writer died mid-rename-window on a weird
+   filesystem), corrupt, or unreadable is treated exactly like an
+   absent one.  [load] keeps raising -- callers asking for a specific
+   file still get the diagnosis -- but the opportunistic path degrades
+   with a logged warning. *)
 let load_opt man path =
-  if Sys.file_exists path then Some (load man path) else None
+  if not (Sys.file_exists path) then None
+  else
+    match load man path with
+    | cp -> Some cp
+    | exception Corrupt why ->
+      Log.degraded ~what:"checkpoint"
+        ~detail:(Printf.sprintf "%s is corrupt (%s); starting cold" path why);
+      None
+    | exception Sys_error why ->
+      Log.degraded ~what:"checkpoint"
+        ~detail:(Printf.sprintf "%s is unreadable (%s); starting cold" path why);
+      None
 
 (* A checkpoint only makes sense against the model that produced it:
    conjunct BDDs mention that model's variable levels. *)

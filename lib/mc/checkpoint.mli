@@ -34,8 +34,10 @@ val load : Bdd.man -> string -> t
     through the manager's unique table. *)
 
 val load_opt : Bdd.man -> string -> t option
-(** [None] when the file does not exist; {!Corrupt} when it exists but
-    is malformed. *)
+(** [None] when the file does not exist, is truncated, corrupt or
+    unreadable (the latter cases log a warning) -- opportunistic
+    resumption degrades to a cold start instead of failing.  Use
+    {!load} to diagnose a specific file. *)
 
 val check_compatible : t -> Model.t -> unit
 (** Raises {!Corrupt} when the checkpoint's model name or variable count

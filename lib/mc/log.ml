@@ -22,3 +22,6 @@ let iteration ~meth ~iteration ~conjuncts ~nodes ~elapsed_s ~live_nodes =
 
 let attempt ~label ~detail =
   L.info (fun m -> m "attempt %s: %s" label detail)
+
+let degraded ~what ~detail =
+  L.warn (fun m -> m "%s degraded: %s" what detail)

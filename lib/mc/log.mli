@@ -18,3 +18,7 @@ val iteration :
 
 val attempt : label:string -> detail:string -> unit
 (** Info-level resilient-driver attempt report. *)
+
+val degraded : what:string -> detail:string -> unit
+(** Warning-level report that a recovery path degraded gracefully
+    (e.g. a corrupt checkpoint was ignored and the run started cold). *)

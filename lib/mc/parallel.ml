@@ -257,6 +257,7 @@ module M = struct
   let reg = Obs.Registry.default
   let portfolio_runs = Obs.Registry.counter reg "parallel.portfolio_runs"
   let cancelled = Obs.Registry.counter reg "parallel.cancelled_configs"
+  let crashed = Obs.Registry.counter reg "parallel.crashed_configs"
   let pair_rounds = Obs.Registry.counter reg "parallel.pair_rounds"
   let pairs_scored = Obs.Registry.counter reg "parallel.pairs_scored"
   let pair_merges = Obs.Registry.counter reg "parallel.pair_merges"
@@ -283,39 +284,68 @@ let portfolio ?(domains = 2) ?(configs = default_portfolio) ?limits
   let winner = Atomic.make (-1) in
   let results : Report.t option array = Array.make n None in
   let tracer = Obs.Tracer.global () in
+  let model_name = model.Model.name in
+  (* An exception escaping one config -- a raising user hook, a thaw
+     failure, an allocation blowup -- must lose that config, not tear
+     the whole run down: the surviving configs are the robustness the
+     portfolio exists to provide.  Anything that is not a clean budget
+     abort becomes a structured per-config "worker crashed" report. *)
+  let crash_report c why time_s =
+    Obs.Registry.incr M.crashed;
+    {
+      Report.model = model_name;
+      method_name = c.label;
+      status = Report.Exceeded (Printf.sprintf "worker crashed: %s" why);
+      iterations = 0;
+      peak_set_nodes = 0;
+      peak_conjuncts = [];
+      nodes_created = 0;
+      peak_live_nodes = 0;
+      time_s;
+    }
+  in
+  let run_config c =
+    let t1 = Monotonic.now () in
+    match thaw ?cache_budget frozen with
+    | exception e -> crash_report c (Printexc.to_string e) 0.0
+    | m ->
+      let man = Model.man m in
+      (* The fault hook is consulted on every node creation, so a
+         cancelled loser aborts within one BDD operation; the raise
+         surfaces as a clean Exceeded report through the method's own
+         Limits handling. *)
+      Bdd.set_fault_hook man
+        (Some
+           (fun _ ->
+             if Atomic.get cancel then
+               raise (Limits.Exceeded "cancelled by portfolio")));
+      let baseline = Bdd.created_nodes man in
+      (try
+         Obs.Tracer.with_span tracer ~cat:"parallel"
+           ~args:(fun () -> [ ("config", Obs.Json.String c.label) ])
+           "parallel.config"
+           (fun () ->
+             Runner.run ?limits ?xici_cfg:c.xici_cfg
+               ?termination:c.termination ?var_choice:c.var_choice c.meth m)
+       with
+      | Limits.Exceeded why ->
+        Report.make ~model:m.Model.name ~method_name:c.label
+          ~status:(Report.Exceeded why) ~iterations:0
+          ~peak:(Report.fresh_peak ()) ~man ~baseline
+          ~time_s:(Monotonic.now () -. t1)
+      | Bdd.Node_budget_exhausted ->
+        Report.make ~model:m.Model.name ~method_name:c.label
+          ~status:(Report.Exceeded "node budget exhausted") ~iterations:0
+          ~peak:(Report.fresh_peak ()) ~man ~baseline
+          ~time_s:(Monotonic.now () -. t1)
+      | e -> crash_report c (Printexc.to_string e) (Monotonic.now () -. t1))
+  in
   let worker () =
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n && not (Atomic.get cancel) then begin
         let c = arr.(i) in
-        let m = thaw ?cache_budget frozen in
-        let man = Model.man m in
-        (* The fault hook is consulted on every node creation, so a
-           cancelled loser aborts within one BDD operation; the raise
-           surfaces as a clean Exceeded report through the method's own
-           Limits handling. *)
-        Bdd.set_fault_hook man
-          (Some
-             (fun _ ->
-               if Atomic.get cancel then
-                 raise (Limits.Exceeded "cancelled by portfolio")));
-        let baseline = Bdd.created_nodes man in
-        let t1 = Monotonic.now () in
-        let report =
-          try
-            Obs.Tracer.with_span tracer ~cat:"parallel"
-              ~args:(fun () -> [ ("config", Obs.Json.String c.label) ])
-              "parallel.config"
-              (fun () ->
-                Runner.run ?limits ?xici_cfg:c.xici_cfg
-                  ?termination:c.termination ?var_choice:c.var_choice c.meth
-                  m)
-          with Limits.Exceeded why ->
-            Report.make ~model:m.Model.name ~method_name:c.label
-              ~status:(Report.Exceeded why) ~iterations:0
-              ~peak:(Report.fresh_peak ()) ~man ~baseline
-              ~time_s:(Monotonic.now () -. t1)
-        in
+        let report = run_config c in
         let report = Report.relabel report ~method_name:c.label in
         results.(i) <- Some report;
         if decided report then begin

@@ -58,7 +58,10 @@ type result = {
       (** the first config to reach a sound verdict, with its report *)
   reports : (config * Report.t) list;
       (** every config that ran, in portfolio order; losers cancelled
-          mid-run carry [Exceeded "cancelled by portfolio"] *)
+          mid-run carry [Exceeded "cancelled by portfolio"], and a
+          config whose worker died of an unexpected exception carries
+          [Exceeded "worker crashed: ..."] (one crashing config never
+          tears down the others) *)
   domains_used : int;
   wall_time_s : float;
 }

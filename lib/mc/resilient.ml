@@ -81,14 +81,10 @@ let run ?(retries = 3) ?(budget_escalation = 2.0) ?max_created_nodes
         ?max_iterations m
     in
     let resume_from =
+      (* A corrupt checkpoint degrades to a cold start inside
+         [load_opt] itself (resilience is the whole point). *)
       match (meth, checkpoint) with
-      | Runner.Xici, Some path -> (
-        (* A corrupt checkpoint must degrade to a cold start, not kill
-           the job: resilience is the whole point. *)
-        try Checkpoint.load_opt man path with Checkpoint.Corrupt why ->
-          Log.attempt ~label:(Runner.name meth)
-            ~detail:(Printf.sprintf "ignoring corrupt checkpoint: %s" why);
-          None)
+      | Runner.Xici, Some path -> Checkpoint.load_opt man path
       | _ -> None
     in
     let baseline = Bdd.created_nodes man in

@@ -1,8 +1,15 @@
 (* Per-iteration fixpoint records.  Every method's iteration logging
    (via Mc.Log.iteration) lands here so the post-run summary can print
-   a per-iteration breakdown without re-running anything.  One global
-   run buffer: methods run sequentially, and the CLI clears it between
-   runs. *)
+   a per-iteration breakdown without re-running anything.  The buffer
+   is domain-local: methods racing on worker domains (parallel
+   portfolio, daemon workers) each accumulate their own rows instead of
+   interleaving into one shared list, and the main domain's sequential
+   semantics (record, read back, clear between runs) are unchanged.
+
+   A domain-local sink lets a resident worker stream rows out as they
+   are produced (e.g. per-iteration progress events back to a daemon
+   client) without waiting for the run to finish; the buffer still
+   fills, so post-run consumers keep working. *)
 
 type row = {
   meth : string;
@@ -13,13 +20,22 @@ type row = {
   live_nodes : int;  (* manager live-node peak when the row was taken *)
 }
 
-let buffer : row list ref = ref []
+let buffer_key : row list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
-let record row = buffer := row :: !buffer
+let sink_key : (row -> unit) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-let rows () = List.rev !buffer
+let record row =
+  (match !(Domain.DLS.get sink_key) with Some f -> f row | None -> ());
+  let buffer = Domain.DLS.get buffer_key in
+  buffer := row :: !buffer
 
-let clear () = buffer := []
+let rows () = List.rev !(Domain.DLS.get buffer_key)
+
+let clear () = Domain.DLS.get buffer_key := []
+
+let set_sink f = Domain.DLS.get sink_key := f
 
 let to_json () =
   Json.List

@@ -1,6 +1,8 @@
 (** Per-iteration fixpoint records, fed by [Mc.Log.iteration] and read
-    back by the post-run summary and bench snapshots.  One global run
-    buffer; the caller clears it between runs. *)
+    back by the post-run summary and bench snapshots.  One run buffer
+    {e per domain} (worker domains do not interleave rows into the main
+    domain's buffer); the caller clears its own domain's buffer between
+    runs. *)
 
 type row = {
   meth : string;
@@ -12,8 +14,18 @@ type row = {
 }
 
 val record : row -> unit
+(** Append to the calling domain's buffer, and feed the domain's sink
+    first, if one is installed. *)
+
 val rows : unit -> row list
-(** In recording order. *)
+(** The calling domain's rows, in recording order. *)
 
 val clear : unit -> unit
+
+val set_sink : (row -> unit) option -> unit
+(** Install (or remove) a streaming callback for the calling domain:
+    every subsequent {!record} in this domain calls it before
+    buffering.  Used by resident workers to stream per-iteration
+    progress while the run is still going.  The sink must not raise. *)
+
 val to_json : unit -> Json.t

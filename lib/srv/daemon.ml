@@ -1,0 +1,379 @@
+(* The icvd event loop.
+
+   Single-threaded select() loop owning all I/O and supervision; the
+   only other threads are the pool's worker domains, reached through
+   the admission queue (in) and the event queue (out).  Requests are
+   newline-JSON (see {!Protocol}); transport is a Unix-domain socket,
+   or stdin/stdout in [stdio] mode so tests and CI can drive the real
+   loop through a pipe.
+
+   Shutdown contract: SIGTERM/SIGINT (or stdin EOF in stdio mode, or a
+   "shutdown" request) flips the draining flag.  A draining daemon
+   stops accepting connections, answers every new submit with
+   [rejected "draining"], finishes everything already admitted, then
+   joins the pool and exits.  Overload is the same shape: a full
+   admission queue or pressure level 3 answers [rejected ...]
+   immediately -- the daemon never buffers unboundedly and never
+   drops a job silently. *)
+
+type config = {
+  socket_path : string option;
+  stdio : bool;
+  workers : int;
+  queue_capacity : int;
+  checkpoint_dir : string option;
+  default_deadline_s : float option;
+  hang_timeout_s : float;
+  max_total_live : int option;
+  max_attempts : int;
+  portfolio_domains : int;
+  tick_s : float;
+}
+
+let default_config =
+  {
+    socket_path = None;
+    stdio = false;
+    workers = 2;
+    queue_capacity = 16;
+    checkpoint_dir = None;
+    default_deadline_s = None;
+    hang_timeout_s = 10.0;
+    max_total_live = None;
+    max_attempts = 2;
+    portfolio_domains = 2;
+    tick_s = 0.05;
+  }
+
+type client = {
+  cid : int;
+  fd : Unix.file_descr;
+  out : Unix.file_descr;  (* = fd except for the stdio client *)
+  buf : Buffer.t;
+  mutable alive : bool;
+  mutable in_open : bool;
+      (* stdio only: EOF on stdin closes the request side while events
+         keep flowing to stdout until the drain completes *)
+}
+
+type state = {
+  cfg : config;
+  pool : Pool.t;
+  clients : (int, client) Hashtbl.t;
+  frozen_cache : (string, Mc.Parallel.frozen) Hashtbl.t;
+  draining : bool Atomic.t;
+  mutable next_cid : int;
+  mutable next_seq : int;  (* distinct checkpoint path per admission *)
+  mutable completions : float list;  (* for the jobs/sec window *)
+  jps_gauge : Obs.Registry.gauge;
+  rejections : Obs.Registry.counter;
+}
+
+let jps_window_s = 10.0
+
+(* --- client I/O ------------------------------------------------------ *)
+
+let send_line st (c : client) json =
+  if c.alive then begin
+    let line = Protocol.to_line json in
+    let bytes = Bytes.of_string line in
+    let len = Bytes.length bytes in
+    let rec write_all off =
+      if off < len then
+        match Unix.write c.out bytes off (len - off) with
+        | n -> write_all (off + n)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
+    in
+    match write_all 0 with
+    | () -> ()
+    | exception
+        Unix.Unix_error ((Unix.EPIPE | Unix.EBADF | Unix.ECONNRESET), _, _) ->
+      c.alive <- false;
+      Hashtbl.remove st.clients c.cid
+  end
+
+let send_to st cid json =
+  match Hashtbl.find_opt st.clients cid with
+  | Some c -> send_line st c json
+  | None -> ()  (* client went away; its verdicts are dropped *)
+
+let drop_client st (c : client) =
+  c.alive <- false;
+  c.in_open <- false;
+  Hashtbl.remove st.clients c.cid;
+  if c.cid <> 0 then ( try Unix.close c.fd with _ -> ())
+
+(* --- request handling ------------------------------------------------ *)
+
+let jobs_per_s st =
+  let now = Mc.Monotonic.now () in
+  let live = List.filter (fun ts -> now -. ts <= jps_window_s) st.completions in
+  st.completions <- live;
+  float_of_int (List.length live) /. jps_window_s
+
+let reject st c ~id ~reason =
+  Obs.Registry.incr st.rejections;
+  send_line st c (Protocol.rejected ~id ~reason)
+
+let handle_submit st (c : client) (spec : Jobspec.t) =
+  let id = spec.Jobspec.id in
+  if Atomic.get st.draining then reject st c ~id ~reason:"draining"
+  else if Pool.pressure st.pool >= 3 then
+    reject st c ~id ~reason:"memory pressure: refusing new work"
+  else begin
+    let key = Jobspec.model_key spec.Jobspec.model in
+    let frozen =
+      match Hashtbl.find_opt st.frozen_cache key with
+      | Some f -> Ok f
+      | None -> (
+        match Jobspec.build spec.Jobspec.model with
+        | model ->
+          let f = Mc.Parallel.freeze model in
+          Hashtbl.replace st.frozen_cache key f;
+          Ok f
+        | exception (Failure why | Invalid_argument why) -> Error why
+        | exception e -> Error (Printexc.to_string e))
+    in
+    match frozen with
+    | Error why -> reject st c ~id ~reason:(Printf.sprintf "bad model: %s" why)
+    | Ok frozen ->
+      let deadline_s =
+        match spec.Jobspec.deadline_s with
+        | Some _ as d -> d
+        | None -> st.cfg.default_deadline_s
+      in
+      let deadline_at =
+        Option.map (fun s -> Mc.Monotonic.now () +. s) deadline_s
+      in
+      let checkpoint_path =
+        Option.map
+          (fun dir ->
+            let seq = st.next_seq in
+            st.next_seq <- seq + 1;
+            Filename.concat dir (Printf.sprintf "job-%d.ckpt" seq))
+          st.cfg.checkpoint_dir
+      in
+      let job =
+        Pool.job ~spec ~frozen ~client:c.cid ~deadline_at ~checkpoint_path
+      in
+      (match Pool.submit st.pool job with
+      | Ok depth -> send_line st c (Protocol.accepted ~id ~queue_depth:depth)
+      | Error reason -> reject st c ~id ~reason)
+  end
+
+let send_stats st c =
+  send_line st c
+    (Protocol.stats
+       ~queue_depth:(Pool.queue_depth st.pool)
+       ~busy_workers:(Pool.busy_workers st.pool)
+       ~workers:(Pool.workers st.pool)
+       ~live_nodes:(Pool.total_live st.pool)
+       ~pressure:(Pool.pressure st.pool)
+       ~jobs_done:(Pool.jobs_done st.pool)
+       ~jobs_per_s:(jobs_per_s st))
+
+let handle_line st c line =
+  let line = String.trim line in
+  if line <> "" then
+    match Protocol.request_of_line line with
+    | Error why -> send_line st c (Protocol.error ~reason:why)
+    | Ok (Protocol.Submit spec) -> handle_submit st c spec
+    | Ok Protocol.Stats -> send_stats st c
+    | Ok Protocol.Ping -> send_line st c Protocol.pong
+    | Ok Protocol.Shutdown ->
+      Atomic.set st.draining true;
+      send_line st c Protocol.draining
+
+(* Split the client's buffer on newlines, keeping any trailing
+   partial line. *)
+let consume_buffer st c =
+  let data = Buffer.contents c.buf in
+  Buffer.clear c.buf;
+  let n = String.length data in
+  let start = ref 0 in
+  (try
+     while !start < n do
+       match String.index_from data !start '\n' with
+       | nl ->
+         handle_line st c (String.sub data !start (nl - !start));
+         start := nl + 1
+       | exception Not_found ->
+         Buffer.add_substring c.buf data !start (n - !start);
+         start := n
+     done
+   with e ->
+     (* keep unconsumed input even if a handler raised *)
+     if !start < n then Buffer.add_substring c.buf data !start (n - !start);
+     raise e)
+
+let read_client st c =
+  let bytes = Bytes.create 65536 in
+  match Unix.read c.fd bytes 0 (Bytes.length bytes) with
+  | 0 ->
+    (* EOF.  In stdio mode the input stream *is* the job source, so
+       EOF means "no more work": start draining, but keep the output
+       side so pending verdicts still reach stdout. *)
+    if st.cfg.stdio && c.cid = 0 then begin
+      c.in_open <- false;
+      Atomic.set st.draining true
+    end
+    else drop_client st c
+  | n ->
+    Buffer.add_subbytes c.buf bytes 0 n;
+    consume_buffer st c
+  | exception
+      Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) ->
+    drop_client st c
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+(* --- pool event routing ---------------------------------------------- *)
+
+let route_event st = function
+  | Pool.Progress (job, row) ->
+    send_to st job.Pool.client
+      (Protocol.progress ~id:job.Pool.spec.Jobspec.id row)
+  | Pool.Requeued (job, reason) ->
+    send_to st job.Pool.client
+      (Protocol.retry ~id:job.Pool.spec.Jobspec.id ~reason
+         ~attempt:job.Pool.attempt)
+  | Pool.Finished (job, worker, resumed_at, report) ->
+    st.completions <- Mc.Monotonic.now () :: st.completions;
+    Obs.Registry.set st.jps_gauge (jobs_per_s st);
+    (match job.Pool.checkpoint_path with
+    | Some p when Sys.file_exists p -> ( try Sys.remove p with Sys_error _ -> ())
+    | _ -> ());
+    send_to st job.Pool.client
+      (Protocol.result ~id:job.Pool.spec.Jobspec.id ~worker ~resumed_at report)
+  | Pool.Worker_died (sid, why) ->
+    Mc.Log.degraded ~what:"worker"
+      ~detail:(Printf.sprintf "worker %d died: %s; respawned" sid why)
+  | Pool.Worker_hung sid ->
+    Mc.Log.degraded ~what:"worker"
+      ~detail:(Printf.sprintf "worker %d unresponsive; cancelling" sid)
+  | Pool.Worker_replaced sid ->
+    Mc.Log.degraded ~what:"worker"
+      ~detail:(Printf.sprintf "worker %d ignored cancel; slot abandoned" sid)
+
+(* --- main loop -------------------------------------------------------- *)
+
+let accept_client st listen_fd =
+  match Unix.accept listen_fd with
+  | fd, _ ->
+    let cid = st.next_cid in
+    st.next_cid <- cid + 1;
+    Hashtbl.replace st.clients cid
+      { cid; fd; out = fd; buf = Buffer.create 256; alive = true; in_open = true }
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+let run ?(on_ready = fun () -> ()) cfg =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let draining = Atomic.make false in
+  let flip _ = Atomic.set draining true in
+  let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle flip) in
+  let old_int = Sys.signal Sys.sigint (Sys.Signal_handle flip) in
+  let pool_cfg =
+    {
+      Pool.workers = cfg.workers;
+      hang_timeout_s = cfg.hang_timeout_s;
+      max_total_live = cfg.max_total_live;
+      max_attempts = cfg.max_attempts;
+      portfolio_domains = cfg.portfolio_domains;
+      checkpoint_every = 1;
+    }
+  in
+  (match cfg.checkpoint_dir with
+  | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+  | _ -> ());
+  let pool = Pool.create ~config:pool_cfg ~queue_capacity:cfg.queue_capacity () in
+  let reg = Obs.Registry.default in
+  let st =
+    {
+      cfg;
+      pool;
+      clients = Hashtbl.create 8;
+      frozen_cache = Hashtbl.create 8;
+      draining;
+      next_cid = 1;
+      next_seq = 0;
+      completions = [];
+      jps_gauge = Obs.Registry.gauge reg "srv.jobs_per_s";
+      rejections = Obs.Registry.counter reg "srv.rejections";
+    }
+  in
+  let listen_fd =
+    match cfg.socket_path with
+    | None -> None
+    | Some path ->
+      if Sys.file_exists path then Unix.unlink path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 16;
+      Some fd
+  in
+  if cfg.stdio then
+    Hashtbl.replace st.clients 0
+      {
+        cid = 0;
+        fd = Unix.stdin;
+        out = Unix.stdout;
+        buf = Buffer.create 256;
+        alive = true;
+        in_open = true;
+      };
+  on_ready ();
+  let drained_notified = ref false in
+  let rec loop () =
+    let accepting = (not (Atomic.get st.draining)) && listen_fd <> None in
+    if Atomic.get st.draining && not !drained_notified then begin
+      drained_notified := true;
+      Hashtbl.iter (fun _ c -> send_line st c Protocol.draining) st.clients
+    end;
+    let fds =
+      (if accepting then Option.to_list listen_fd else [])
+      @ Hashtbl.fold
+          (fun _ c acc -> if c.in_open then c.fd :: acc else acc)
+          st.clients []
+    in
+    let ready, _, _ =
+      match Unix.select fds [] [] cfg.tick_s with
+      | r -> r
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    List.iter
+      (fun fd ->
+        if listen_fd = Some fd then accept_client st fd
+        else
+          match
+            Hashtbl.fold
+              (fun _ c acc -> if c.fd = fd then Some c else acc)
+              st.clients None
+          with
+          | Some c -> read_client st c
+          | None -> ())
+      ready;
+    Pool.supervise st.pool;
+    List.iter (route_event st) (Pool.poll st.pool);
+    Obs.Registry.set st.jps_gauge (jobs_per_s st);
+    if Atomic.get st.draining && Pool.idle st.pool then begin
+      (* Drain complete: flush any last events and stop. *)
+      List.iter (route_event st) (Pool.poll st.pool);
+      Pool.shutdown st.pool;
+      List.iter (route_event st) (Pool.poll st.pool)
+    end
+    else loop ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (match listen_fd with
+      | Some fd -> (
+        (try Unix.close fd with _ -> ());
+        match cfg.socket_path with
+        | Some path -> ( try Unix.unlink path with _ -> ())
+        | None -> ())
+      | None -> ());
+      Hashtbl.iter
+        (fun _ c -> if c.cid <> 0 then try Unix.close c.fd with _ -> ())
+        st.clients;
+      Sys.set_signal Sys.sigterm old_term;
+      Sys.set_signal Sys.sigint old_int)
+    loop

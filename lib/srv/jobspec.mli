@@ -1,0 +1,69 @@
+(** Declarative verification jobs for the resident daemon.
+
+    A job names a model by (family, parameters) instead of carrying
+    BDDs, so the daemon can build each distinct parameterisation once
+    and cache its frozen form under {!model_key}.  The surface mirrors
+    icv's flags: a daemon job and a one-shot CLI run describe the same
+    verification problem, which is what makes verdict-parity checking
+    meaningful. *)
+
+type model_spec = {
+  family : string;  (** fifo | network | filter | cpu | abp *)
+  depth : int;
+  width : int;
+  procs : int;
+  regs : int;
+  bound : int;
+  assisted : bool;
+  bug : bool;
+}
+
+val default_model : model_spec
+(** fifo, depth 5, width 8, bound 128 — the icv defaults. *)
+
+type fault_action = Crash | Exceed
+
+type fault = {
+  after_steps : int option;  (** fire after this many kernel steps *)
+  after_iterations : int option;  (** or after this many iterations *)
+  action : fault_action;
+}
+(** Deterministic fault injection for tests and the CI smoke job:
+    [Crash] raises an exception the worker does not catch (exercising
+    the supervisor's crash path), [Exceed] raises
+    {!Mc.Limits.Exceeded}.  Fires on the first attempt only, so the
+    retry demonstrates recovery. *)
+
+type meth = Method of Mc.Runner.meth | Portfolio
+
+type t = {
+  id : string;
+  model : model_spec;
+  meth : meth;
+  deadline_s : float option;
+  max_live_nodes : int option;
+  grow_threshold : float option;
+  progress : bool;  (** stream per-iteration progress events *)
+  fault : fault option;
+}
+
+val build : model_spec -> Mc.Model.t
+(** Raises [Failure] on an unknown family. *)
+
+val canonical : model_spec -> string
+(** Canonical declaration text: only the parameters the family actually
+    reads, so specs differing in an ignored field share a cache slot. *)
+
+val model_key : model_spec -> string
+(** Digest of {!canonical} — the frozen-model cache key. *)
+
+val meth_of_string : string -> meth option
+val meth_name : meth -> string
+
+val of_json : Obs.Json.t -> (t, string) result
+(** Parse a job object; the error is a human-readable reason suitable
+    for a protocol [rejected] event.  Unknown fields are ignored;
+    model parameters default to {!default_model}; [method] defaults to
+    xici. *)
+
+val to_json : t -> Obs.Json.t

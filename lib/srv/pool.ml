@@ -1,0 +1,507 @@
+(* Persistent worker pool with supervision.
+
+   Each worker is an OCaml 5 domain running a pop/run loop over the
+   admission queue.  Models travel as frozen strings and every worker
+   thaws its own private copy, so the shared-nothing discipline of
+   [Mc.Parallel] is preserved.
+
+   Supervision runs on the daemon thread via [supervise], called every
+   tick.  Three failure modes are handled:
+
+   - {b crash}: an exception escapes the worker loop.  The top-level
+     wrapper records it in [slot.dead] and lets the domain end; the
+     supervisor joins it, requeues the in-flight job (urgent lane) and
+     spawns a replacement.
+   - {b hang}: a busy worker's heartbeat (updated from the kernel
+     progress hook and the iteration sink) goes silent for
+     [hang_timeout_s].  Domains cannot be killed, so the supervisor
+     sets the slot's cancel flag, which the worker's fault hook turns
+     into [Limits.Exceeded] at the next kernel step.
+   - {b zombie}: the cancel flag is ignored for another hang window
+     (the worker is wedged outside kernel code).  The slot is marked
+     [abandoned] -- suppressing any late events from it -- the job is
+     requeued, and a fresh slot takes its place.  The orphan domain is
+     deliberately never joined.
+
+   Exactly-once resolution per execution: [job.inflight] is flipped
+   under the event lock, so a worker finishing "just as" the
+   supervisor declares it hung resolves the job exactly once. *)
+
+exception Injected_crash
+(* Raised by the fault hook when a job's test-only fault spec fires;
+   escapes the worker loop on purpose to exercise the crash path. *)
+
+type job = {
+  spec : Jobspec.t;
+  frozen : Mc.Parallel.frozen;
+  client : int;
+  submitted_at : float;
+  deadline_at : float option;
+  checkpoint_path : string option;
+  mutable attempt : int;  (* 1-based; touched under the event lock *)
+  mutable inflight : bool;  (* likewise *)
+}
+
+let job ~spec ~frozen ~client ~deadline_at ~checkpoint_path =
+  {
+    spec;
+    frozen;
+    client;
+    submitted_at = Mc.Monotonic.now ();
+    deadline_at;
+    checkpoint_path;
+    attempt = 1;
+    inflight = true;
+  }
+
+type event =
+  | Progress of job * Obs.Iterlog.row
+  | Requeued of job * string  (* reason; [job.attempt] is the retry *)
+  | Finished of job * int * int * Mc.Report.t
+      (* worker id, resumed-at iteration (0 = cold start) *)
+  | Worker_died of int * string
+  | Worker_hung of int
+  | Worker_replaced of int
+
+type slot = {
+  sid : int;
+  mutable domain : unit Domain.t option;
+  hb : float Atomic.t;  (* monotonic time of last sign of life *)
+  live : int Atomic.t;  (* live BDD nodes in this worker's manager *)
+  busy : bool Atomic.t;
+  cancel : bool Atomic.t;
+  dead : string option Atomic.t;
+  current : job option Atomic.t;
+  abandoned : bool Atomic.t;
+}
+
+type config = {
+  workers : int;
+  hang_timeout_s : float;
+  max_total_live : int option;
+  max_attempts : int;
+  portfolio_domains : int;
+  checkpoint_every : int;
+}
+
+let default_config =
+  {
+    workers = 2;
+    hang_timeout_s = 10.0;
+    max_total_live = None;
+    max_attempts = 2;
+    portfolio_domains = 2;
+    checkpoint_every = 1;
+  }
+
+type t = {
+  cfg : config;
+  queue : job Admission.t;
+  mutable slots : slot array;
+  ev_lock : Mutex.t;
+  events : event Queue.t;
+  outstanding : int Atomic.t;
+      (* admitted but not yet resolved; the drain-completion signal.
+         Counted here rather than via queue+busy scans because a job
+         is neither queued nor marked busy for an instant between pop
+         and dispatch. *)
+  mutable next_sid : int;
+  mutable last_pressure : int;
+  jobs_done : Obs.Registry.counter;
+  crashes : Obs.Registry.counter;
+  hangs : Obs.Registry.counter;
+  requeues : Obs.Registry.counter;
+  depth_gauge : Obs.Registry.gauge;
+}
+
+let emit t e =
+  Mutex.lock t.ev_lock;
+  Queue.push e t.events;
+  Mutex.unlock t.ev_lock
+
+let poll t =
+  Mutex.lock t.ev_lock;
+  let out = Queue.fold (fun acc e -> e :: acc) [] t.events in
+  Queue.clear t.events;
+  Mutex.unlock t.ev_lock;
+  List.rev out
+
+(* --- memory-pressure ladder ----------------------------------------- *)
+
+let total_live t =
+  Array.fold_left
+    (fun acc s ->
+      if Atomic.get s.busy && not (Atomic.get s.abandoned) then
+        acc + Atomic.get s.live
+      else acc)
+    0 t.slots
+
+let pressure t =
+  match t.cfg.max_total_live with
+  | None -> 0
+  | Some cap ->
+    let l = total_live t in
+    if l >= cap then 3
+    else if l >= cap * 3 / 4 then 2
+    else if l >= cap / 2 then 1
+    else 0
+
+(* Degradation before refusal: level 1 shrinks the thaw-time cache
+   budget, level 2 additionally clamps portfolio width to one domain
+   and halves per-job live budgets, level 3 makes the daemon refuse
+   new admissions entirely. *)
+let thaw_cache_budget ~pressure:p =
+  if p >= 2 then Some 1024 else if p >= 1 then Some 4096 else None
+
+let note_pressure t p =
+  if p <> t.last_pressure then begin
+    if p > t.last_pressure then
+      Mc.Log.degraded ~what:"pool"
+        ~detail:
+          (Printf.sprintf "memory pressure %d -> %d (%d live nodes)"
+             t.last_pressure p (total_live t));
+    t.last_pressure <- p
+  end;
+  p
+
+(* --- synthesized failure reports ------------------------------------ *)
+
+let failed_report (job : job) reason =
+  {
+    Mc.Report.model = Jobspec.canonical job.spec.Jobspec.model;
+    method_name = Jobspec.meth_name job.spec.Jobspec.meth;
+    status = Mc.Report.Exceeded reason;
+    iterations = 0;
+    peak_set_nodes = 0;
+    peak_conjuncts = [];
+    nodes_created = 0;
+    peak_live_nodes = 0;
+    time_s = Mc.Monotonic.now () -. job.submitted_at;
+  }
+
+(* --- exactly-once job resolution ------------------------------------ *)
+
+let finish t slot (job : job) ~resumed_at report =
+  Mutex.lock t.ev_lock;
+  let mine = job.inflight in
+  if mine then job.inflight <- false;
+  Mutex.unlock t.ev_lock;
+  if mine then begin
+    Obs.Registry.incr t.jobs_done;
+    Atomic.decr t.outstanding;
+    emit t (Finished (job, slot.sid, resumed_at, report))
+  end
+
+let requeue_or_fail t (job : job) ~reason =
+  Mutex.lock t.ev_lock;
+  let mine = job.inflight in
+  let retry = mine && job.attempt < t.cfg.max_attempts in
+  if mine then begin
+    job.inflight <- false;
+    if retry then begin
+      job.attempt <- job.attempt + 1;
+      job.inflight <- true
+    end
+  end;
+  Mutex.unlock t.ev_lock;
+  if mine then
+    if retry then begin
+      Obs.Registry.incr t.requeues;
+      emit t (Requeued (job, reason));
+      Admission.push_urgent t.queue job
+    end
+    else begin
+      Obs.Registry.incr t.jobs_done;
+      Atomic.decr t.outstanding;
+      emit t
+        (Finished
+           ( job,
+             -1,
+             0,
+             failed_report job
+               (Printf.sprintf "%s (after %d attempts)" reason job.attempt) ))
+    end
+
+(* --- running one job in a worker domain ----------------------------- *)
+
+let beat slot = Atomic.set slot.hb (Mc.Monotonic.now ())
+
+let limits_for t (job : job) ~remaining ~pressure:p man =
+  let max_live =
+    match (job.spec.Jobspec.max_live_nodes, p >= 2) with
+    | Some n, true -> Some (max 1 (n / 2))
+    | Some n, false -> Some n
+    | None, true -> t.cfg.max_total_live
+    | None, false -> None
+  in
+  Mc.Limits.start ?max_live_nodes:max_live ?max_seconds:remaining
+    ~max_iterations:200 man
+
+let run_job t slot (job : job) =
+  let now = Mc.Monotonic.now () in
+  let remaining = Option.map (fun d -> d -. now) job.deadline_at in
+  match remaining with
+  | Some r when r <= 0.0 ->
+    finish t slot job ~resumed_at:0 (failed_report job "deadline expired")
+  | _ ->
+    let p = note_pressure t (pressure t) in
+    let model =
+      Mc.Parallel.thaw ?cache_budget:(thaw_cache_budget ~pressure:p) job.frozen
+    in
+    let man = Mc.Model.man model in
+    let spec = job.spec in
+    let resume_from =
+      match job.checkpoint_path with
+      | Some path when job.attempt > 1 -> Mc.Checkpoint.load_opt man path
+      | _ -> None
+    in
+    let resumed_at =
+      match resume_from with
+      | Some cp -> cp.Mc.Checkpoint.iterations
+      | None -> 0
+    in
+    (* Deterministic fault injection (tests/CI only): fires on the
+       first attempt so the retry can demonstrate recovery. *)
+    let inject =
+      match spec.Jobspec.fault with
+      | Some f when job.attempt = 1 -> Some f
+      | _ -> None
+    in
+    let iter_armed = ref false in
+    let base_steps = Bdd.steps man in
+    Bdd.set_fault_hook man
+      (Some
+         (fun m ->
+           if Atomic.get slot.cancel then
+             raise (Mc.Limits.Exceeded "cancelled: hung worker");
+           match inject with
+           | None -> ()
+           | Some f ->
+             let fire =
+               !iter_armed
+               ||
+               match f.Jobspec.after_steps with
+               | Some n -> Bdd.steps m - base_steps >= n
+               | None -> false
+             in
+             if fire then (
+               match f.Jobspec.action with
+               | Jobspec.Crash -> raise Injected_crash
+               | Jobspec.Exceed -> raise (Mc.Limits.Exceeded "injected exceed"))));
+    Bdd.set_progress_hook man
+      (Some
+         (fun m ->
+           beat slot;
+           Atomic.set slot.live (Bdd.live_nodes m)));
+    Obs.Iterlog.clear ();
+    Obs.Iterlog.set_sink
+      (Some
+         (fun row ->
+           beat slot;
+           (match inject with
+           | Some { Jobspec.after_iterations = Some n; _ }
+             when row.Obs.Iterlog.iteration >= n ->
+             iter_armed := true
+           | _ -> ());
+           if spec.Jobspec.progress then emit t (Progress (job, row))));
+    Fun.protect
+      ~finally:(fun () -> Obs.Iterlog.set_sink None)
+      (fun () ->
+        let limits = limits_for t job ~remaining ~pressure:p in
+        let xici_cfg =
+          Option.map
+            (fun g -> { Ici.Policy.default with Ici.Policy.grow_threshold = g })
+            spec.Jobspec.grow_threshold
+        in
+        let report =
+          match spec.Jobspec.meth with
+          | Jobspec.Method meth -> (
+            try
+              Mc.Runner.run ~limits ?xici_cfg
+                ?checkpoint_path:job.checkpoint_path
+                ~checkpoint_every:t.cfg.checkpoint_every ?resume_from meth
+                model
+            with
+            | Mc.Limits.Exceeded why ->
+              failed_report job (Printf.sprintf "exceeded: %s" why)
+            | Bdd.Node_budget_exhausted ->
+              failed_report job "node budget exhausted")
+          | Jobspec.Portfolio -> (
+            let domains = if p >= 2 then 1 else t.cfg.portfolio_domains in
+            try
+              let res = Mc.Parallel.portfolio ~domains ~limits model in
+              match res.Mc.Parallel.winner with
+              | Some (_, r) -> r
+              | None -> (
+                match res.Mc.Parallel.reports with
+                | (_, r) :: _ -> r
+                | [] -> failed_report job "empty portfolio")
+            with Mc.Limits.Exceeded why ->
+              failed_report job (Printf.sprintf "exceeded: %s" why))
+        in
+        if Atomic.get slot.cancel then
+          (* The supervisor declared us hung and the cancel landed:
+             this execution's verdict is void; retry if allowed. *)
+          requeue_or_fail t job ~reason:"hung (cancelled mid-run)"
+        else finish t slot job ~resumed_at report)
+
+(* --- worker lifecycle ------------------------------------------------ *)
+
+let worker_loop t slot =
+  let rec loop () =
+    if Atomic.get slot.abandoned then ()
+    else
+      match Admission.pop t.queue with
+      | None -> ()
+      | Some job ->
+        if Atomic.get slot.abandoned then
+          (* Popped during abandonment: hand the job back untouched. *)
+          Admission.push_urgent t.queue job
+        else begin
+          Atomic.set slot.current (Some job);
+          Atomic.set slot.cancel false;
+          Atomic.set slot.busy true;
+          beat slot;
+          run_job t slot job;
+          (* Reached only on normal completion: a crash must leave
+             [busy]/[current] set so the supervisor can requeue. *)
+          Atomic.set slot.busy false;
+          Atomic.set slot.current None;
+          Atomic.set slot.live 0;
+          loop ()
+        end
+  in
+  loop ()
+
+let make_slot t sid =
+  let slot =
+    {
+      sid;
+      domain = None;
+      hb = Atomic.make (Mc.Monotonic.now ());
+      live = Atomic.make 0;
+      busy = Atomic.make false;
+      cancel = Atomic.make false;
+      dead = Atomic.make None;
+      current = Atomic.make None;
+      abandoned = Atomic.make false;
+    }
+  in
+  let d =
+    Domain.spawn (fun () ->
+        try worker_loop t slot
+        with e ->
+          (* Crash path: record the cause and let the domain end; the
+             supervisor joins, requeues and respawns. *)
+          Atomic.set slot.dead (Some (Printexc.to_string e)))
+  in
+  slot.domain <- Some d;
+  slot
+
+let create ?(config = default_config) ~queue_capacity () =
+  let reg = Obs.Registry.default in
+  let t =
+    {
+      cfg = { config with workers = max 1 config.workers };
+      queue = Admission.create ~capacity:queue_capacity;
+      slots = [||];
+      ev_lock = Mutex.create ();
+      events = Queue.create ();
+      outstanding = Atomic.make 0;
+      next_sid = 0;
+      last_pressure = 0;
+      jobs_done = Obs.Registry.counter reg "srv.jobs_done";
+      crashes = Obs.Registry.counter reg "srv.worker_crashes";
+      hangs = Obs.Registry.counter reg "srv.worker_hangs";
+      requeues = Obs.Registry.counter reg "srv.requeues";
+      depth_gauge = Obs.Registry.gauge reg "srv.queue_depth";
+    }
+  in
+  t.slots <-
+    Array.init t.cfg.workers (fun _ ->
+        let sid = t.next_sid in
+        t.next_sid <- sid + 1;
+        make_slot t sid);
+  t
+
+(* --- submission ------------------------------------------------------ *)
+
+let submit t job =
+  let r = Admission.try_push t.queue job in
+  (match r with Ok _ -> Atomic.incr t.outstanding | Error _ -> ());
+  Obs.Registry.set t.depth_gauge (float_of_int (Admission.depth t.queue));
+  r
+
+let queue_depth t = Admission.depth t.queue
+
+let busy_workers t =
+  Array.fold_left
+    (fun acc s ->
+      if Atomic.get s.busy && not (Atomic.get s.abandoned) then acc + 1
+      else acc)
+    0 t.slots
+
+let workers t = Array.length t.slots
+let idle t = Atomic.get t.outstanding = 0
+let jobs_done t = Obs.Registry.count t.jobs_done
+
+(* --- supervision ----------------------------------------------------- *)
+
+let respawn t i =
+  let sid = t.next_sid in
+  t.next_sid <- sid + 1;
+  t.slots.(i) <- make_slot t sid
+
+let supervise t =
+  let now = Mc.Monotonic.now () in
+  Array.iteri
+    (fun i slot ->
+      match Atomic.get slot.dead with
+      | Some why ->
+        (match slot.domain with
+        | Some d -> ( try Domain.join d with _ -> ())
+        | None -> ());
+        Obs.Registry.incr t.crashes;
+        emit t (Worker_died (slot.sid, why));
+        (match Atomic.get slot.current with
+        | Some job ->
+          requeue_or_fail t job
+            ~reason:(Printf.sprintf "worker crashed: %s" why)
+        | None -> ());
+        respawn t i
+      | None ->
+        if Atomic.get slot.busy && not (Atomic.get slot.abandoned) then begin
+          let silent = now -. Atomic.get slot.hb in
+          if silent > 2.0 *. t.cfg.hang_timeout_s && Atomic.get slot.cancel
+          then begin
+            (* Cancel ignored: the worker is wedged outside kernel
+               code.  Abandon the slot (zombie) and move on; the
+               orphan domain is never joined. *)
+            Atomic.set slot.abandoned true;
+            (match Atomic.get slot.current with
+            | Some job ->
+              requeue_or_fail t job ~reason:"worker hung (abandoned)"
+            | None -> ());
+            emit t (Worker_replaced slot.sid);
+            respawn t i
+          end
+          else if silent > t.cfg.hang_timeout_s && not (Atomic.get slot.cancel)
+          then begin
+            Atomic.set slot.cancel true;
+            Obs.Registry.incr t.hangs;
+            emit t (Worker_hung slot.sid)
+          end
+        end)
+    t.slots;
+  Obs.Registry.set t.depth_gauge (float_of_int (Admission.depth t.queue));
+  ignore (note_pressure t (pressure t))
+
+let shutdown t =
+  Admission.close t.queue;
+  Array.iter
+    (fun slot ->
+      if not (Atomic.get slot.abandoned) then
+        match slot.domain with
+        | Some d -> ( try Domain.join d with _ -> ())
+        | None -> ())
+    t.slots

@@ -1,0 +1,110 @@
+(** Persistent worker pool with supervision.
+
+    Workers are OCaml 5 domains running a pop/run loop over the
+    admission queue; models travel as {!Mc.Parallel.frozen} strings
+    and each worker thaws a private copy, preserving the
+    shared-nothing discipline.  {!supervise} (called from the daemon
+    tick) handles three failure modes:
+
+    - {b crash}: an escaped exception ends the domain; the supervisor
+      joins it, requeues the in-flight job on the urgent lane and
+      spawns a replacement slot.
+    - {b hang}: a busy worker whose heartbeat goes silent for the hang
+      timeout gets its cancel flag set; the worker's kernel fault hook
+      turns that into [Limits.Exceeded] at the next step (domains
+      cannot be killed).
+    - {b zombie}: a worker that ignores the cancel for another timeout
+      window is wedged outside kernel code; its slot is abandoned
+      (late events suppressed), the job requeued, a fresh slot spawned
+      and the orphan domain never joined.
+
+    Every admitted job is resolved exactly once — with a [Finished]
+    event — even when a worker verdict races the supervisor's hang
+    declaration.  Failed jobs retry up to [max_attempts] total
+    attempts; an XICI retry resumes from the job's checkpoint when one
+    was written. *)
+
+exception Injected_crash
+(** Raised by a job's test-only fault spec; deliberately not caught by
+    the worker, to exercise the crash path. *)
+
+type job = {
+  spec : Jobspec.t;
+  frozen : Mc.Parallel.frozen;
+  client : int;  (** daemon client id the verdict routes back to *)
+  submitted_at : float;
+  deadline_at : float option;  (** absolute, on the monotonic clock *)
+  checkpoint_path : string option;
+  mutable attempt : int;
+  mutable inflight : bool;
+}
+
+val job :
+  spec:Jobspec.t ->
+  frozen:Mc.Parallel.frozen ->
+  client:int ->
+  deadline_at:float option ->
+  checkpoint_path:string option ->
+  job
+
+type event =
+  | Progress of job * Obs.Iterlog.row
+  | Requeued of job * string
+      (** reason; [job.attempt] already names the retry *)
+  | Finished of job * int * int * Mc.Report.t
+      (** worker id (-1 when synthesized by the supervisor), resumed-at
+          iteration (0 = cold start), final report *)
+  | Worker_died of int * string
+  | Worker_hung of int
+  | Worker_replaced of int
+
+type config = {
+  workers : int;
+  hang_timeout_s : float;
+  max_total_live : int option;
+      (** memory-pressure cap over all workers' live BDD nodes *)
+  max_attempts : int;  (** total attempts per job, first one included *)
+  portfolio_domains : int;
+  checkpoint_every : int;
+}
+
+val default_config : config
+(** 2 workers, 10s hang timeout, 2 attempts, checkpoint every
+    iteration, no memory cap. *)
+
+type t
+
+val create : ?config:config -> queue_capacity:int -> unit -> t
+(** Spawns the worker domains immediately. *)
+
+val submit : t -> job -> (int, string) result
+(** [Ok queue_depth] or [Error reason] (queue full / closed) — the
+    caller turns the error into an explicit protocol rejection. *)
+
+val poll : t -> event list
+(** Drain pending events (daemon thread only). *)
+
+val supervise : t -> unit
+(** One supervision tick: reap crashed workers, cancel or replace hung
+    ones, refresh gauges.  Daemon thread only. *)
+
+val shutdown : t -> unit
+(** Close the queue, let workers drain it and join them (abandoned
+    zombie slots excepted).  Call when {!idle} after draining. *)
+
+(** {1 Introspection} *)
+
+val queue_depth : t -> int
+val busy_workers : t -> int
+val workers : t -> int
+
+val idle : t -> bool
+(** No admitted job is unresolved — the drain-completion signal. *)
+
+val jobs_done : t -> int
+val total_live : t -> int
+
+val pressure : t -> int
+(** Memory-pressure level 0–3 against [max_total_live]: 1 shrinks
+    thaw-time cache budgets, 2 also clamps portfolio width and per-job
+    live budgets, 3 tells the daemon to refuse new work. *)

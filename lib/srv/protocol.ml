@@ -1,0 +1,99 @@
+(* Newline-delimited JSON wire protocol.
+
+   One request per line from the client; one event object per line back.
+   Every event carries a ["type"] tag so clients can dispatch without
+   schema knowledge, and every job-scoped event carries the job ["id"].
+   The same encoding is used over the Unix socket and over stdin/stdout
+   (the daemon's --stdio test mode), so tests and CI exercise the real
+   parser. *)
+
+type request =
+  | Submit of Jobspec.t
+  | Stats
+  | Ping
+  | Shutdown
+
+let request_of_line line =
+  match Obs.Json.of_string line with
+  | exception Obs.Json.Parse_error why ->
+    Error (Printf.sprintf "bad JSON: %s" why)
+  | json -> (
+    match Option.bind (Obs.Json.member "type" json) Obs.Json.to_str with
+    | Some "submit" -> (
+      match Jobspec.of_json json with
+      | Ok spec -> Ok (Submit spec)
+      | Error why -> Error why)
+    | Some "stats" -> Ok Stats
+    | Some "ping" -> Ok Ping
+    | Some "shutdown" -> Ok Shutdown
+    | Some other -> Error (Printf.sprintf "unknown request type %S" other)
+    | None -> (
+      (* A bare job object is accepted as an implicit submit so that a
+         file of jobs can be piped in unchanged. *)
+      match Jobspec.of_json json with
+      | Ok spec -> Ok (Submit spec)
+      | Error why -> Error why))
+
+(* --- server -> client events ---------------------------------------- *)
+
+let ev kind fields = Obs.Json.Obj (("type", Obs.Json.String kind) :: fields)
+
+let accepted ~id ~queue_depth =
+  ev "accepted"
+    [ ("id", Obs.Json.String id); ("queue_depth", Obs.Json.Int queue_depth) ]
+
+let rejected ~id ~reason =
+  ev "rejected"
+    [ ("id", Obs.Json.String id); ("reason", Obs.Json.String reason) ]
+
+let error ~reason = ev "error" [ ("reason", Obs.Json.String reason) ]
+
+let progress ~id (row : Obs.Iterlog.row) =
+  ev "progress"
+    [
+      ("id", Obs.Json.String id);
+      ("method", Obs.Json.String row.Obs.Iterlog.meth);
+      ("iteration", Obs.Json.Int row.Obs.Iterlog.iteration);
+      ("conjuncts", Obs.Json.Int row.Obs.Iterlog.conjuncts);
+      ("nodes", Obs.Json.Int row.Obs.Iterlog.nodes);
+      ("live_nodes", Obs.Json.Int row.Obs.Iterlog.live_nodes);
+      ("elapsed_s", Obs.Json.Float row.Obs.Iterlog.elapsed_s);
+    ]
+
+let retry ~id ~reason ~attempt =
+  ev "retry"
+    [
+      ("id", Obs.Json.String id);
+      ("reason", Obs.Json.String reason);
+      ("attempt", Obs.Json.Int attempt);
+    ]
+
+let result ~id ~worker ~resumed_at (report : Mc.Report.t) =
+  ev "result"
+    [
+      ("id", Obs.Json.String id);
+      ("verdict", Obs.Json.String (Mc.Report.status_string report));
+      ("report", Mc.Report.to_json report);
+      ("worker", Obs.Json.Int worker);
+      ("resumed", Obs.Json.Bool (resumed_at > 0));
+      ("resumed_at", Obs.Json.Int resumed_at);
+    ]
+
+let pong = ev "pong" []
+
+let draining = ev "draining" []
+
+let stats ~queue_depth ~busy_workers ~workers ~live_nodes ~pressure ~jobs_done
+    ~jobs_per_s =
+  ev "stats"
+    [
+      ("queue_depth", Obs.Json.Int queue_depth);
+      ("busy_workers", Obs.Json.Int busy_workers);
+      ("workers", Obs.Json.Int workers);
+      ("live_nodes", Obs.Json.Int live_nodes);
+      ("pressure", Obs.Json.Int pressure);
+      ("jobs_done", Obs.Json.Int jobs_done);
+      ("jobs_per_s", Obs.Json.Float jobs_per_s);
+    ]
+
+let to_line json = Obs.Json.to_string json ^ "\n"

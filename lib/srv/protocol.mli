@@ -1,0 +1,52 @@
+(** Newline-delimited JSON wire protocol between icvd and its clients.
+
+    One request object per line in; one event object per line out,
+    each tagged with a ["type"] field.  The same encoding runs over
+    the Unix socket and over stdin/stdout in the daemon's [--stdio]
+    test mode. *)
+
+type request =
+  | Submit of Jobspec.t
+  | Stats
+  | Ping
+  | Shutdown  (** begin draining, as if SIGTERM had arrived *)
+
+val request_of_line : string -> (request, string) result
+(** Parse one request line.  [{"type":"submit", ...job fields...}]
+    submits; a bare job object (no ["type"]) is an implicit submit so a
+    file of jobs can be piped in unchanged. *)
+
+(** {1 Server-to-client events} *)
+
+val accepted : id:string -> queue_depth:int -> Obs.Json.t
+val rejected : id:string -> reason:string -> Obs.Json.t
+
+val error : reason:string -> Obs.Json.t
+(** Malformed request (no job id to blame). *)
+
+val progress : id:string -> Obs.Iterlog.row -> Obs.Json.t
+(** Streamed per-iteration row, when the job asked for [progress]. *)
+
+val retry : id:string -> reason:string -> attempt:int -> Obs.Json.t
+(** The job's worker crashed or hung; the job was requeued. *)
+
+val result :
+  id:string -> worker:int -> resumed_at:int -> Mc.Report.t -> Obs.Json.t
+(** Terminal verdict.  [resumed_at > 0] means this execution resumed
+    from a checkpoint at that iteration. *)
+
+val pong : Obs.Json.t
+val draining : Obs.Json.t
+
+val stats :
+  queue_depth:int ->
+  busy_workers:int ->
+  workers:int ->
+  live_nodes:int ->
+  pressure:int ->
+  jobs_done:int ->
+  jobs_per_s:float ->
+  Obs.Json.t
+
+val to_line : Obs.Json.t -> string
+(** Serialized event plus the trailing newline. *)

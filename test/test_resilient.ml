@@ -46,6 +46,11 @@ let temp_path () =
 
 let cleanup path = if Sys.file_exists path then Sys.remove path
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
 let is_exceeded (r : Mc.Report.t) =
   match r.Mc.Report.status with
   | Mc.Report.Exceeded _ -> true
@@ -204,6 +209,46 @@ let test_checkpoint_corruption () =
   in
   corrupt_raises "missing end marker" no_end
 
+(* Opportunistic loading must degrade every corruption mode to a cold
+   start ([None]), including byte-level truncation anywhere in the
+   file -- the shape left by a crash mid-write or a torn copy. *)
+let test_load_opt_tolerates_corruption () =
+  let model = chain_model () in
+  let man = Mc.Model.man model in
+  let l0 = Ici.Clist.of_list man (Mc.Model.property model) in
+  let path = temp_path () in
+  Mc.Checkpoint.save man path
+    {
+      Mc.Checkpoint.model_name = model.Mc.Model.name;
+      nvars = Bdd.num_vars man;
+      iterations = 2;
+      cfg = Ici.Policy.default;
+      termination = `Exact_equal;
+      current = l0;
+      gs = [ l0 ];
+    };
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  (match Mc.Checkpoint.load_opt man path with
+  | Some cp ->
+    Alcotest.(check int) "intact file loads" 2 cp.Mc.Checkpoint.iterations
+  | None -> Alcotest.fail "intact checkpoint refused");
+  let total = String.length text in
+  List.iter
+    (fun keep ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (String.sub text 0 keep));
+      Alcotest.(check bool)
+        (Printf.sprintf "truncated to %d/%d bytes -> None" keep total)
+        true
+        (Mc.Checkpoint.load_opt man path = None))
+    (* [total - 3] cuts into the trailing "end\n" marker; losing only
+       the final newline is benign (the marker line is still intact),
+       so the nearest interesting truncation is inside the marker. *)
+    [ 0; 1; total / 4; total / 2; total - 3 ];
+  cleanup path;
+  Alcotest.(check bool) "absent -> None" true
+    (Mc.Checkpoint.load_opt man path = None)
+
 (* --- fault-injected kill + checkpoint resume ------------------------ *)
 
 let test_kill_and_resume () =
@@ -250,6 +295,62 @@ let test_kill_and_resume () =
   let post_resume = r.Mc.Report.iterations - cp.Mc.Checkpoint.iterations in
   Alcotest.(check bool) "strictly fewer post-resume iterations" true
     (post_resume >= 0 && post_resume < cold_iters)
+
+(* --- deadlines fire inside a single image computation ---------------- *)
+
+(* A model whose very first backward pre-image is astronomically large:
+   state bits x_i with next-state x_i' = u_i XOR u_{n-1-i}.  Every
+   next-state function is three BDD nodes, so building the model is
+   linear -- but substituting them into good = /\ not x_i yields the
+   "palindrome" function over u_0 < ... < u_{n-1}, whose BDD must
+   remember the first half of the inputs: 2^(n/2) nodes.  With n = 60
+   the image needs >= 2^30 node creations and can never complete. *)
+let tangle_model n =
+  let sp = Fsm.Space.create () in
+  let x = Fsm.Space.state_word ~name:"x" sp ~width:n in
+  let u = Fsm.Space.input_word ~name:"u" sp ~width:n in
+  let man = Fsm.Space.man sp in
+  let assigns =
+    Array.to_list
+      (Array.mapi
+         (fun i l ->
+           (l, Bdd.bxor man (Bdd.var man u.(i)) (Bdd.var man u.(n - 1 - i))))
+         x)
+  in
+  let trans = Fsm.Trans.make sp ~assigns in
+  let xv = Fsm.Space.cur_vec sp x in
+  let init = Bvec.eq man xv (Bvec.const man ~width:n 0) in
+  let good = List.init n (fun i -> Bdd.bnot man (Bvec.get xv i)) in
+  Mc.Model.make ~name:"tangle" ~space:sp ~trans ~init ~good ()
+
+let test_deadline_fires_mid_image () =
+  let n = 60 in
+  let model = tangle_model n in
+  let man = Mc.Model.man model in
+  let before = Bdd.created_nodes man in
+  let r =
+    Mc.Backward.run ~image_via:`Compose
+      ~limits:(fun man -> Mc.Limits.start ~max_seconds:0.05 man)
+      model
+  in
+  let created = Bdd.created_nodes man - before in
+  (match r.Mc.Report.status with
+  | Mc.Report.Exceeded why ->
+    Alcotest.(check bool)
+      (Printf.sprintf "deadline verdict mentions seconds (%s)" why)
+      true
+      (contains ~sub:"seconds" why)
+  | Mc.Report.Proved | Mc.Report.Violated _ ->
+    Alcotest.fail "a 2^30-node image cannot have completed");
+  (* The first iteration-boundary check runs microseconds after the
+     clock starts, far under the 50ms budget, so the only place the
+     deadline can have fired is the kernel progress hook inside the
+     blown-up BackImage.  Node count seals it: completing the image
+     needs >= 2^30 creations, yet the run died after a tiny fraction. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "aborted mid-image (%d nodes created)" created)
+    true
+    (created < 1 lsl 24)
 
 (* --- resilient driver ----------------------------------------------- *)
 
@@ -363,6 +464,53 @@ let test_node_budget_fault_caught () =
       (is_exceeded a1.Mc.Resilient.report)
   | [] -> Alcotest.fail "no attempts recorded"
 
+let test_portfolio_crash_containment () =
+  (* A worker dying of an arbitrary exception (not a budget trip) must
+     surface as a structured per-config "worker crashed" report while
+     the remaining configs run to a verdict. *)
+  let model = chain_model () in
+  let armed = Atomic.make true in
+  let configs =
+    [
+      Mc.Parallel.config ~label:"victim" Mc.Runner.Xici;
+      Mc.Parallel.config ~label:"survivor" Mc.Runner.Forward;
+    ]
+  in
+  (* The limits builder is the only per-worker entry point we control:
+     its first invocation (the victim, on one domain configs run in
+     order) plants a fault hook that raises a non-budget exception. *)
+  let crashing_limits man =
+    if Atomic.compare_and_set armed true false then
+      Bdd.set_fault_hook man
+        (Some (fun _ -> raise (Failure "injected crash")));
+    limits man
+  in
+  let res =
+    Mc.Parallel.portfolio ~domains:1 ~configs ~limits:crashing_limits model
+  in
+  Alcotest.(check bool) "crash fired" true (not (Atomic.get armed));
+  (match res.Mc.Parallel.winner with
+  | Some (c, r) ->
+    Alcotest.(check string) "survivor wins" "survivor"
+      c.Mc.Parallel.label;
+    Alcotest.(check bool) "survivor proves" true (Mc.Report.is_proved r)
+  | None -> Alcotest.fail "no winner despite a healthy config");
+  match
+    List.find_opt
+      (fun (c, _) -> c.Mc.Parallel.label = "victim")
+      res.Mc.Parallel.reports
+  with
+  | Some (_, r) -> (
+    match r.Mc.Report.status with
+    | Mc.Report.Exceeded why ->
+      Alcotest.(check bool)
+        (Printf.sprintf "victim reported as crashed (%s)" why)
+        true
+        (contains ~sub:"crashed" why)
+    | Mc.Report.Proved | Mc.Report.Violated _ ->
+      Alcotest.fail "victim config survived its own crash")
+  | None -> Alcotest.fail "victim config missing from reports"
+
 let test_resilient_invalid_args () =
   let model = chain_model () in
   let rejects label f =
@@ -396,6 +544,13 @@ let () =
             test_checkpoint_roundtrip;
           Alcotest.test_case "corruption detection" `Quick
             test_checkpoint_corruption;
+          Alcotest.test_case "load_opt tolerates truncation" `Quick
+            test_load_opt_tolerates_corruption;
+        ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "deadline fires mid-image" `Quick
+            test_deadline_fires_mid_image;
         ] );
       ( "recovery",
         [
@@ -408,6 +563,8 @@ let () =
             test_portfolio_fallback;
           Alcotest.test_case "node-budget fault caught" `Quick
             test_node_budget_fault_caught;
+          Alcotest.test_case "portfolio contains a worker crash" `Quick
+            test_portfolio_crash_containment;
           Alcotest.test_case "invalid arguments rejected" `Quick
             test_resilient_invalid_args;
         ] );

@@ -1,0 +1,416 @@
+(* Daemon-layer tests: jobspec parsing and model-cache keys, the
+   newline-JSON protocol, the bounded two-lane admission queue, and
+   end-to-end icvd runs over a real Unix socket — verdict parity with
+   one-shot runs, explicit overload rejection, and crash + checkpoint
+   resume under the supervisor. *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let parse_job line =
+  match Srv.Protocol.request_of_line line with
+  | Ok (Srv.Protocol.Submit j) -> j
+  | Ok _ -> Alcotest.fail (Printf.sprintf "not a submit: %s" line)
+  | Error why -> Alcotest.fail (Printf.sprintf "parse failed (%s): %s" why line)
+
+(* --- jobspec --------------------------------------------------------- *)
+
+let test_jobspec_defaults () =
+  let j = parse_job {|{"id":"a","model":{"family":"fifo"}}|} in
+  Alcotest.(check string) "id" "a" j.Srv.Jobspec.id;
+  Alcotest.(check string) "family" "fifo" j.Srv.Jobspec.model.Srv.Jobspec.family;
+  Alcotest.(check int) "default depth" Srv.Jobspec.default_model.Srv.Jobspec.depth
+    j.Srv.Jobspec.model.Srv.Jobspec.depth;
+  Alcotest.(check string) "default method is xici" "xici"
+    (String.lowercase_ascii (Srv.Jobspec.meth_name j.Srv.Jobspec.meth));
+  Alcotest.(check bool) "no fault by default" true
+    (j.Srv.Jobspec.fault = None);
+  (* to_json round-trips through of_json. *)
+  match Srv.Jobspec.of_json (Srv.Jobspec.to_json j) with
+  | Ok j' ->
+    Alcotest.(check string) "roundtrip id" j.Srv.Jobspec.id j'.Srv.Jobspec.id;
+    Alcotest.(check string) "roundtrip canonical"
+      (Srv.Jobspec.canonical j.Srv.Jobspec.model)
+      (Srv.Jobspec.canonical j'.Srv.Jobspec.model)
+  | Error why -> Alcotest.fail ("roundtrip rejected: " ^ why)
+
+let test_jobspec_rejections () =
+  let rejects label line =
+    match Srv.Protocol.request_of_line line with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (label ^ ": bad job accepted")
+  in
+  rejects "missing id" {|{"model":{"family":"fifo"}}|};
+  rejects "missing model" {|{"id":"a"}|};
+  rejects "missing family" {|{"id":"a","model":{}}|};
+  rejects "unknown method" {|{"id":"a","model":{"family":"fifo"},"method":"magic"}|};
+  rejects "triggerless fault"
+    {|{"id":"a","model":{"family":"fifo"},"fault":{"action":"crash"}}|};
+  rejects "unknown fault action"
+    {|{"id":"a","model":{"family":"fifo"},"fault":{"after_steps":1,"action":"melt"}}|};
+  rejects "unparseable line" "{not json"
+
+let test_model_key () =
+  let j1 = parse_job {|{"id":"a","model":{"family":"fifo","procs":2}}|} in
+  let j2 = parse_job {|{"id":"b","model":{"family":"fifo","procs":9}}|} in
+  let j3 = parse_job {|{"id":"c","model":{"family":"fifo","depth":3}}|} in
+  (* [procs] is not a FIFO parameter: same cache slot.  [depth] is. *)
+  Alcotest.(check string) "ignored field shares the cache key"
+    (Srv.Jobspec.model_key j1.Srv.Jobspec.model)
+    (Srv.Jobspec.model_key j2.Srv.Jobspec.model);
+  Alcotest.(check bool) "meaningful field splits the cache key" true
+    (Srv.Jobspec.model_key j1.Srv.Jobspec.model
+    <> Srv.Jobspec.model_key j3.Srv.Jobspec.model);
+  Alcotest.(check bool) "unknown family fails to build" true
+    (try
+       ignore (Srv.Jobspec.build { j1.Srv.Jobspec.model with family = "nope" });
+       false
+     with Failure _ -> true)
+
+(* --- protocol -------------------------------------------------------- *)
+
+let test_requests () =
+  let check_req label line expected =
+    match Srv.Protocol.request_of_line line with
+    | Ok r -> Alcotest.(check bool) label true (r = expected)
+    | Error why -> Alcotest.fail (label ^ ": " ^ why)
+  in
+  check_req "ping" {|{"type":"ping"}|} Srv.Protocol.Ping;
+  check_req "stats" {|{"type":"stats"}|} Srv.Protocol.Stats;
+  check_req "shutdown" {|{"type":"shutdown"}|} Srv.Protocol.Shutdown;
+  (match Srv.Protocol.request_of_line {|{"type":"submit","id":"x","model":{"family":"abp"}}|} with
+  | Ok (Srv.Protocol.Submit j) ->
+    Alcotest.(check string) "explicit submit" "x" j.Srv.Jobspec.id
+  | _ -> Alcotest.fail "explicit submit refused");
+  match Srv.Protocol.request_of_line {|{"type":"frobnicate"}|} with
+  | Error why ->
+    Alcotest.(check bool) "unknown type named in error" true
+      (contains ~sub:"frobnicate" why)
+  | Ok _ -> Alcotest.fail "unknown request type accepted"
+
+let test_event_shape () =
+  let reparse ev =
+    let line = Srv.Protocol.to_line ev in
+    Alcotest.(check bool) "line ends with newline" true
+      (String.length line > 0 && line.[String.length line - 1] = '\n');
+    Obs.Json.of_string (String.sub line 0 (String.length line - 1))
+  in
+  let tag j =
+    Option.value ~default:"?"
+      (Option.bind (Obs.Json.member "type" j) Obs.Json.to_str)
+  in
+  Alcotest.(check string) "accepted tag" "accepted"
+    (tag (reparse (Srv.Protocol.accepted ~id:"a" ~queue_depth:3)));
+  Alcotest.(check string) "rejected tag" "rejected"
+    (tag (reparse (Srv.Protocol.rejected ~id:"a" ~reason:"queue full")));
+  let report =
+    {
+      Mc.Report.model = "m";
+      method_name = "xici";
+      status = Mc.Report.Proved;
+      iterations = 4;
+      peak_set_nodes = 10;
+      peak_conjuncts = [ 10 ];
+      nodes_created = 100;
+      peak_live_nodes = 50;
+      time_s = 0.1;
+    }
+  in
+  let r = reparse (Srv.Protocol.result ~id:"a" ~worker:1 ~resumed_at:2 report) in
+  Alcotest.(check string) "result tag" "result" (tag r);
+  Alcotest.(check bool) "resumed flag follows resumed_at" true
+    (Option.bind (Obs.Json.member "resumed" r) (function
+       | Obs.Json.Bool b -> Some b
+       | _ -> None)
+    = Some true);
+  let fresh =
+    reparse (Srv.Protocol.result ~id:"a" ~worker:1 ~resumed_at:0 report)
+  in
+  Alcotest.(check bool) "cold run is not resumed" true
+    (Obs.Json.member "resumed" fresh = Some (Obs.Json.Bool false))
+
+(* --- admission queue ------------------------------------------------- *)
+
+let test_admission_bounds () =
+  let q = Srv.Admission.create ~capacity:2 in
+  Alcotest.(check bool) "first push" true (Srv.Admission.try_push q 1 = Ok 1);
+  Alcotest.(check bool) "second push" true (Srv.Admission.try_push q 2 = Ok 2);
+  (match Srv.Admission.try_push q 3 with
+  | Error why ->
+    Alcotest.(check bool) "overflow names the capacity" true
+      (contains ~sub:"full" why)
+  | Ok _ -> Alcotest.fail "queue exceeded its capacity");
+  Alcotest.(check int) "depth" 2 (Srv.Admission.depth q);
+  Alcotest.(check bool) "pop fifo" true (Srv.Admission.pop q = Some 1);
+  Alcotest.(check bool) "freed a slot" true (Srv.Admission.try_push q 3 = Ok 2);
+  Srv.Admission.close q;
+  (match Srv.Admission.try_push q 4 with
+  | Error why ->
+    Alcotest.(check bool) "closed queue refuses" true
+      (contains ~sub:"closed" why)
+  | Ok _ -> Alcotest.fail "closed queue accepted a push");
+  Alcotest.(check bool) "drains after close" true (Srv.Admission.pop q = Some 2);
+  Alcotest.(check bool) "drains after close (2)" true
+    (Srv.Admission.pop q = Some 3);
+  Alcotest.(check bool) "then signals exit" true (Srv.Admission.pop q = None)
+
+let test_admission_urgent_lane () =
+  let q = Srv.Admission.create ~capacity:1 in
+  Alcotest.(check bool) "normal lane fills" true
+    (Srv.Admission.try_push q `Normal = Ok 1);
+  (match Srv.Admission.try_push q `Normal with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "cap not enforced");
+  (* Requeues must never bounce: urgent bypasses the cap and pops
+     first. *)
+  Srv.Admission.push_urgent q `Urgent;
+  Alcotest.(check int) "urgent counted in depth" 2 (Srv.Admission.depth q);
+  Alcotest.(check bool) "urgent pops first" true
+    (Srv.Admission.pop q = Some `Urgent);
+  Alcotest.(check bool) "then the normal lane" true
+    (Srv.Admission.pop q = Some `Normal)
+
+(* --- end-to-end daemon over a Unix socket ---------------------------- *)
+
+let tmp_sock () =
+  let p = Filename.temp_file "icvd" ".sock" in
+  Sys.remove p;
+  p
+
+let send_shutdown sock =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception _ -> ()
+  | fd -> (
+    try
+      Unix.connect fd (Unix.ADDR_UNIX sock);
+      let line = {|{"type":"shutdown"}|} ^ "\n" in
+      ignore (Unix.write_substring fd line 0 (String.length line));
+      Unix.close fd
+    with _ -> ( try Unix.close fd with _ -> ()))
+
+let with_daemon cfg f =
+  let ready = Atomic.make false in
+  let dom =
+    Domain.spawn (fun () ->
+        Srv.Daemon.run ~on_ready:(fun () -> Atomic.set ready true) cfg)
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while (not (Atomic.get ready)) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.005
+  done;
+  if not (Atomic.get ready) then begin
+    Domain.join dom;
+    Alcotest.fail "daemon never became ready"
+  end;
+  Fun.protect
+    ~finally:(fun () ->
+      (* Belt and braces: if [f] raised before requesting shutdown,
+         ask for one so the join below terminates. *)
+      Option.iter send_shutdown cfg.Srv.Daemon.socket_path;
+      Domain.join dom)
+    f
+
+(* Connect, send every line, then read events until the daemon drains
+   and closes the connection.  The last line sent is expected to be a
+   shutdown request (otherwise this blocks until the test times out). *)
+let talk sock lines =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  let oc = Unix.out_channel_of_descr fd in
+  let ic = Unix.in_channel_of_descr fd in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  flush oc;
+  let events = ref [] in
+  (try
+     while true do
+       events := Obs.Json.of_string (input_line ic) :: !events
+     done
+   with End_of_file -> ());
+  (try Unix.close fd with _ -> ());
+  List.rev !events
+
+let ev_type j =
+  Option.value ~default:"?"
+    (Option.bind (Obs.Json.member "type" j) Obs.Json.to_str)
+
+let ev_id j = Option.bind (Obs.Json.member "id" j) Obs.Json.to_str
+
+let ev_str field j = Option.bind (Obs.Json.member field j) Obs.Json.to_str
+
+let find_result id events =
+  List.find_opt (fun j -> ev_type j = "result" && ev_id j = Some id) events
+
+let base_cfg sock =
+  {
+    Srv.Daemon.default_config with
+    Srv.Daemon.socket_path = Some sock;
+    tick_s = 0.01;
+    default_deadline_s = Some 60.0;
+  }
+
+let test_daemon_verdict_parity () =
+  let jobs =
+    [
+      {|{"id":"fifo-ok","model":{"family":"fifo"}}|};
+      {|{"id":"fifo-bug","model":{"family":"fifo","bug":true}}|};
+      {|{"id":"net-ok","model":{"family":"network"}}|};
+    ]
+  in
+  let sock = tmp_sock () in
+  let events =
+    with_daemon (base_cfg sock) (fun () ->
+        talk sock (jobs @ [ {|{"type":"ping"}|}; {|{"type":"shutdown"}|} ]))
+  in
+  Alcotest.(check bool) "pong answered" true
+    (List.exists (fun j -> ev_type j = "pong") events);
+  Alcotest.(check bool) "draining announced" true
+    (List.exists (fun j -> ev_type j = "draining") events);
+  List.iter
+    (fun line ->
+      let spec = parse_job line in
+      let id = spec.Srv.Jobspec.id in
+      match find_result id events with
+      | None -> Alcotest.fail (Printf.sprintf "no result for %s" id)
+      | Some r ->
+        (* The daemon's verdict must match a one-shot run of the very
+           same declaration. *)
+        let oneshot =
+          Mc.Runner.run Mc.Runner.Xici
+            (Srv.Jobspec.build spec.Srv.Jobspec.model)
+        in
+        Alcotest.(check (option string))
+          (Printf.sprintf "%s verdict parity" id)
+          (Some (Mc.Report.status_string oneshot))
+          (ev_str "verdict" r))
+    jobs
+
+let test_daemon_overload () =
+  (* One worker, queue of one: a burst of three slow jobs must yield at
+     least one explicit rejection, and every job must get exactly one
+     terminal answer — overload is an answer, never a silent drop. *)
+  let cfg sock =
+    { (base_cfg sock) with Srv.Daemon.workers = 1; queue_capacity = 1 }
+  in
+  let jobs =
+    List.init 3 (fun i ->
+        Printf.sprintf {|{"id":"burst-%d","model":{"family":"filter","depth":8}}|} i)
+  in
+  let sock = tmp_sock () in
+  let events =
+    with_daemon (cfg sock) (fun () ->
+        talk sock (jobs @ [ {|{"type":"shutdown"}|} ]))
+  in
+  let rejected =
+    List.filter (fun j -> ev_type j = "rejected") events
+  in
+  let results = List.filter (fun j -> ev_type j = "result") events in
+  Alcotest.(check bool) "overload rejected explicitly" true
+    (List.length rejected >= 1);
+  List.iter
+    (fun j ->
+      match ev_str "reason" j with
+      | Some why ->
+        Alcotest.(check bool)
+          (Printf.sprintf "rejection names the queue (%s)" why)
+          true (contains ~sub:"full" why)
+      | None -> Alcotest.fail "rejection without a reason")
+    rejected;
+  Alcotest.(check int) "every job answered exactly once" 3
+    (List.length rejected + List.length results);
+  List.iter
+    (fun r ->
+      Alcotest.(check (option string)) "admitted jobs still prove"
+        (Some "proved") (ev_str "verdict" r))
+    results
+
+let rm_rf_dir dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
+      (Sys.readdir dir);
+    try Sys.rmdir dir with _ -> ()
+  end
+
+let test_daemon_crash_resume () =
+  (* A worker domain killed mid-fixpoint: the supervisor must respawn
+     it, requeue the job, resume it from its checkpoint, and still
+     deliver the one-shot verdict. *)
+  let ckpt_dir = tmp_sock () ^ ".ckpt.d" in
+  let cfg sock =
+    {
+      (base_cfg sock) with
+      Srv.Daemon.workers = 1;
+      checkpoint_dir = Some ckpt_dir;
+      hang_timeout_s = 5.0;
+    }
+  in
+  let job =
+    {|{"id":"crashy","model":{"family":"filter","depth":8},"fault":{"after_iterations":1,"action":"crash"}}|}
+  in
+  let sock = tmp_sock () in
+  let events =
+    with_daemon (cfg sock) (fun () ->
+        talk sock [ job; {|{"type":"shutdown"}|} ])
+  in
+  let retries =
+    List.filter
+      (fun j -> ev_type j = "retry" && ev_id j = Some "crashy")
+      events
+  in
+  Alcotest.(check bool) "crash produced a retry event" true
+    (List.length retries >= 1);
+  (match find_result "crashy" events with
+  | None -> Alcotest.fail "no result after crash recovery"
+  | Some r ->
+    Alcotest.(check bool) "retry resumed from the checkpoint" true
+      (Obs.Json.member "resumed" r = Some (Obs.Json.Bool true));
+    Alcotest.(check bool) "resumed mid-fixpoint" true
+      (match Option.bind (Obs.Json.member "resumed_at" r) Obs.Json.to_int with
+      | Some i -> i >= 1
+      | None -> false);
+    let spec = parse_job job in
+    let oneshot =
+      Mc.Runner.run Mc.Runner.Xici (Srv.Jobspec.build spec.Srv.Jobspec.model)
+    in
+    Alcotest.(check (option string)) "verdict parity after recovery"
+      (Some (Mc.Report.status_string oneshot))
+      (ev_str "verdict" r));
+  Alcotest.(check bool) "checkpoint file deleted on resolution" true
+    ((not (Sys.file_exists ckpt_dir)) || Array.length (Sys.readdir ckpt_dir) = 0);
+  rm_rf_dir ckpt_dir
+
+let () =
+  Alcotest.run "srv"
+    [
+      ( "jobspec",
+        [
+          Alcotest.test_case "defaults and roundtrip" `Quick
+            test_jobspec_defaults;
+          Alcotest.test_case "rejections" `Quick test_jobspec_rejections;
+          Alcotest.test_case "model cache key" `Quick test_model_key;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "requests" `Quick test_requests;
+          Alcotest.test_case "event shape" `Quick test_event_shape;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "bounded queue" `Quick test_admission_bounds;
+          Alcotest.test_case "urgent lane" `Quick test_admission_urgent_lane;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "verdict parity" `Quick test_daemon_verdict_parity;
+          Alcotest.test_case "overload rejects explicitly" `Quick
+            test_daemon_overload;
+          Alcotest.test_case "crash, respawn, resume" `Quick
+            test_daemon_crash_resume;
+        ] );
+    ]
