@@ -126,7 +126,7 @@ let rec take n xs =
       let front, back = take (n - 1) rest in
       (x :: front, back)
 
-let thaw ?cache_budget (s : frozen) : Model.t =
+let thaw ?cache_budget ?on_manager (s : frozen) : Model.t =
   let pos = ref 0 in
   let len = String.length s in
   let next_line () =
@@ -150,6 +150,14 @@ let thaw ?cache_budget (s : frozen) : Model.t =
   let name = rest_after "name " (next_line ()) in
   let ndecls = int_field "decl count" (rest_after "decls " (next_line ())) in
   let sp = Fsm.Space.create ?cache_budget () in
+  (* Hand the fresh manager to the caller before any reconstruction:
+     rebuilding a large model (deserialize + transition relation) is
+     real BDD work, and a supervised caller wants its liveness hooks
+     beating during that stretch, not only once the run proper
+     starts. *)
+  (match on_manager with
+  | Some f -> f (Fsm.Space.man sp)
+  | None -> ());
   for _ = 1 to ndecls do
     let line = next_line () in
     if String.length line < 3 then fail "thaw: bad decl line %S" line;
@@ -271,11 +279,21 @@ let join_all spawned =
   List.iter (function Error e -> raise e | Ok () -> ()) outcomes
 
 let portfolio ?(domains = 2) ?(configs = default_portfolio) ?limits
-    ?cache_budget model =
+    ?cache_budget ?should_cancel ?on_progress ?iter_sink model =
   if domains < 1 then invalid_arg "Parallel.portfolio: domains < 1";
   if configs = [] then invalid_arg "Parallel.portfolio: empty portfolio";
   Obs.Registry.incr M.portfolio_runs;
   let t0 = Monotonic.now () in
+  (* The caller (e.g. a supervised pool worker) observes liveness
+     through hooks on its own manager -- which this function never
+     touches: all the work happens on private managers in child
+     domains.  [should_cancel]/[on_progress]/[iter_sink] re-thread the
+     caller's cancel signal and heartbeat into those domains, so a
+     supervisor can both see a long portfolio run making progress and
+     abort it. *)
+  let externally_cancelled () =
+    match should_cancel with Some f -> f () | None -> false
+  in
   let frozen = freeze model in
   let arr = Array.of_list configs in
   let n = Array.length arr in
@@ -304,21 +322,51 @@ let portfolio ?(domains = 2) ?(configs = default_portfolio) ?limits
       time_s;
     }
   in
+  let abort_report c why time_s =
+    {
+      Report.model = model_name;
+      method_name = c.label;
+      status = Report.Exceeded why;
+      iterations = 0;
+      peak_set_nodes = 0;
+      peak_conjuncts = [];
+      nodes_created = 0;
+      peak_live_nodes = 0;
+      time_s;
+    }
+  in
   let run_config c =
     let t1 = Monotonic.now () in
-    match thaw ?cache_budget frozen with
-    | exception e -> crash_report c (Printexc.to_string e) 0.0
-    | m ->
-      let man = Model.man m in
-      (* The fault hook is consulted on every node creation, so a
-         cancelled loser aborts within one BDD operation; the raise
-         surfaces as a clean Exceeded report through the method's own
-         Limits handling. *)
+    (* Hooks go onto the fresh manager before the model is rebuilt
+       (via thaw's [on_manager]), so cancellation and heartbeats cover
+       the thaw itself -- on a large model the rebuild is long enough
+       to read as a hang otherwise.  The fault hook is consulted on
+       every node creation, so a cancelled loser aborts within one BDD
+       operation; the raise surfaces as a clean Exceeded report
+       through the method's own Limits handling.  [Limits.with_guard]
+       chains whatever progress hook is already installed, so
+       per-config budgets keep working on top. *)
+    let install man =
       Bdd.set_fault_hook man
         (Some
            (fun _ ->
              if Atomic.get cancel then
-               raise (Limits.Exceeded "cancelled by portfolio")));
+               raise (Limits.Exceeded "cancelled by portfolio");
+             if externally_cancelled () then
+               raise (Limits.Exceeded "cancelled")));
+      match on_progress with
+      | None -> ()
+      | Some f ->
+        Bdd.set_progress_hook man
+          (Some (fun m -> f ~live:(Bdd.live_nodes m)))
+    in
+    match thaw ?cache_budget ~on_manager:install frozen with
+    | exception Limits.Exceeded why ->
+      (* Cancelled mid-thaw: an abort, not a crash. *)
+      abort_report c why (Monotonic.now () -. t1)
+    | exception e -> crash_report c (Printexc.to_string e) 0.0
+    | m ->
+      let man = Model.man m in
       let baseline = Bdd.created_nodes man in
       (try
          Obs.Tracer.with_span tracer ~cat:"parallel"
@@ -341,9 +389,13 @@ let portfolio ?(domains = 2) ?(configs = default_portfolio) ?limits
       | e -> crash_report c (Printexc.to_string e) (Monotonic.now () -. t1))
   in
   let worker () =
+    (match iter_sink with
+    | None -> ()
+    | Some s -> Obs.Iterlog.set_sink (Some s));
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
-      if i < n && not (Atomic.get cancel) then begin
+      if i < n && not (Atomic.get cancel) && not (externally_cancelled ())
+      then begin
         let c = arr.(i) in
         let report = run_config c in
         let report = Report.relabel report ~method_name:c.label in
@@ -355,7 +407,7 @@ let portfolio ?(domains = 2) ?(configs = default_portfolio) ?limits
         loop ()
       end
     in
-    loop ()
+    Fun.protect ~finally:(fun () -> Obs.Iterlog.set_sink None) loop
   in
   let k = min domains n in
   let spawned =

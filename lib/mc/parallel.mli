@@ -23,11 +23,16 @@ type frozen = string
 
 val freeze : Model.t -> frozen
 
-val thaw : ?cache_budget:int -> frozen -> Model.t
+val thaw : ?cache_budget:int -> ?on_manager:(Bdd.man -> unit) -> frozen -> Model.t
 (** Rebuild the model in a fresh manager (fresh space, fresh transition
     relation).  Levels, variable names, conjunct structure and
     fd-candidates are preserved exactly; [cache_budget] is forwarded to
-    the new manager. *)
+    the new manager.  [on_manager] is called with the fresh manager
+    {e before} any reconstruction, so supervised callers can install
+    progress/fault hooks that fire during the rebuild itself (on a
+    large model, deserialization plus the transition relation is long
+    enough to read as a hang otherwise); a hook that raises aborts the
+    thaw with that exception. *)
 
 (** {1 Portfolio mode} *)
 
@@ -74,6 +79,9 @@ val portfolio :
   ?configs:config list ->
   ?limits:(Bdd.man -> Limits.t) ->
   ?cache_budget:int ->
+  ?should_cancel:(unit -> bool) ->
+  ?on_progress:(live:int -> unit) ->
+  ?iter_sink:(Obs.Iterlog.row -> unit) ->
   Model.t ->
   result
 (** Run [configs] (default {!default_portfolio}) concurrently on
@@ -82,7 +90,20 @@ val portfolio :
     via each worker manager's fault hook.  Every config is sound, so
     the winning verdict equals what a sequential run of any deciding
     config would return.  [limits] builds per-worker budgets against
-    the worker's own manager. *)
+    the worker's own manager.
+
+    The work happens entirely in child domains on private managers, so
+    hooks the caller installed on its own manager never fire during a
+    portfolio run.  Supervised callers re-thread their liveness
+    machinery with the three optional callbacks, each invoked {e from
+    the worker domains} (so they must be domain-safe and must not
+    raise): [should_cancel] is polled on every kernel step and between
+    configs — once it returns [true], running configs abort with
+    [Exceeded "cancelled"] and no further config starts;
+    [on_progress ~live] fires at the kernel progress-hook cadence with
+    the reporting worker's live-node count (a heartbeat);
+    [iter_sink] receives every per-iteration {!Obs.Iterlog} row the
+    workers record. *)
 
 (** {1 Parallel pair scoring} *)
 

@@ -50,6 +50,9 @@ type client = {
   fd : Unix.file_descr;
   out : Unix.file_descr;  (* = fd except for the stdio client *)
   buf : Buffer.t;
+  outbuf : Buffer.t;
+      (* pending outgoing lines, flushed through the select write set:
+         a client that stops reading must never block the loop *)
   mutable alive : bool;
   mutable in_open : bool;
       (* stdio only: EOF on stdin closes the request side while events
@@ -73,28 +76,32 @@ let jps_window_s = 10.0
 
 (* --- client I/O ------------------------------------------------------ *)
 
-let send_line st (c : client) json =
+(* Output never blocks the loop: [send_line] only appends to the
+   client's buffer, and the buffer drains through the select write set
+   (socket fds are nonblocking).  A client that stops reading while
+   events keep coming would grow its buffer without bound -- the one
+   thing the daemon promised never to do -- so past [max_outbuf] the
+   client is marked dead and reaped by the loop (its jobs run on; the
+   verdicts are dropped like any vanished client's).  The stdio client
+   is exempt: its reader is the test/CI harness and its buffer is
+   bounded by the jobs it submitted. *)
+let max_outbuf = 8 * 1024 * 1024
+
+let send_line (c : client) json =
   if c.alive then begin
-    let line = Protocol.to_line json in
-    let bytes = Bytes.of_string line in
-    let len = Bytes.length bytes in
-    let rec write_all off =
-      if off < len then
-        match Unix.write c.out bytes off (len - off) with
-        | n -> write_all (off + n)
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
-    in
-    match write_all 0 with
-    | () -> ()
-    | exception
-        Unix.Unix_error ((Unix.EPIPE | Unix.EBADF | Unix.ECONNRESET), _, _) ->
+    Buffer.add_string c.outbuf (Protocol.to_line json);
+    if c.cid <> 0 && Buffer.length c.outbuf > max_outbuf then begin
       c.alive <- false;
-      Hashtbl.remove st.clients c.cid
+      Mc.Log.degraded ~what:"client"
+        ~detail:
+          (Printf.sprintf "client %d not reading (%d bytes queued); dropping"
+             c.cid (Buffer.length c.outbuf))
+    end
   end
 
 let send_to st cid json =
   match Hashtbl.find_opt st.clients cid with
-  | Some c -> send_line st c json
+  | Some c -> send_line c json
   | None -> ()  (* client went away; its verdicts are dropped *)
 
 let drop_client st (c : client) =
@@ -102,6 +109,37 @@ let drop_client st (c : client) =
   c.in_open <- false;
   Hashtbl.remove st.clients c.cid;
   if c.cid <> 0 then ( try Unix.close c.fd with _ -> ())
+
+(* Write as much buffered output as the fd will take right now.  The
+   stdio client's fds stay in blocking mode (they are shared with the
+   parent process), so it flushes in <= 512-byte chunks: select just
+   said the pipe is writable, and POSIX guarantees room for at least
+   PIPE_BUF >= 512 bytes, so a chunk that small cannot block. *)
+let flush_client st (c : client) =
+  let len = Buffer.length c.outbuf in
+  if len > 0 && c.alive then begin
+    let data = Buffer.contents c.outbuf in
+    let chunk = if c.cid = 0 then min len 512 else len in
+    match Unix.write_substring c.out data 0 chunk with
+    | n ->
+      Buffer.clear c.outbuf;
+      if n < len then Buffer.add_substring c.outbuf data n (len - n)
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+      ()
+    | exception
+        Unix.Unix_error ((Unix.EPIPE | Unix.EBADF | Unix.ECONNRESET), _, _) ->
+      drop_client st c
+  end
+
+let reap_dead st =
+  let dead =
+    Hashtbl.fold
+      (fun _ c acc -> if c.alive then acc else c :: acc)
+      st.clients []
+  in
+  List.iter (drop_client st) dead
 
 (* --- request handling ------------------------------------------------ *)
 
@@ -113,7 +151,7 @@ let jobs_per_s st =
 
 let reject st c ~id ~reason =
   Obs.Registry.incr st.rejections;
-  send_line st c (Protocol.rejected ~id ~reason)
+  send_line c (Protocol.rejected ~id ~reason)
 
 let handle_submit st (c : client) (spec : Jobspec.t) =
   let id = spec.Jobspec.id in
@@ -157,12 +195,12 @@ let handle_submit st (c : client) (spec : Jobspec.t) =
         Pool.job ~spec ~frozen ~client:c.cid ~deadline_at ~checkpoint_path
       in
       (match Pool.submit st.pool job with
-      | Ok depth -> send_line st c (Protocol.accepted ~id ~queue_depth:depth)
+      | Ok depth -> send_line c (Protocol.accepted ~id ~queue_depth:depth)
       | Error reason -> reject st c ~id ~reason)
   end
 
 let send_stats st c =
-  send_line st c
+  send_line c
     (Protocol.stats
        ~queue_depth:(Pool.queue_depth st.pool)
        ~busy_workers:(Pool.busy_workers st.pool)
@@ -176,13 +214,13 @@ let handle_line st c line =
   let line = String.trim line in
   if line <> "" then
     match Protocol.request_of_line line with
-    | Error why -> send_line st c (Protocol.error ~reason:why)
+    | Error why -> send_line c (Protocol.error ~reason:why)
     | Ok (Protocol.Submit spec) -> handle_submit st c spec
     | Ok Protocol.Stats -> send_stats st c
-    | Ok Protocol.Ping -> send_line st c Protocol.pong
+    | Ok Protocol.Ping -> send_line c Protocol.pong
     | Ok Protocol.Shutdown ->
       Atomic.set st.draining true;
-      send_line st c Protocol.draining
+      send_line c Protocol.draining
 
 (* Split the client's buffer on newlines, keeping any trailing
    partial line. *)
@@ -224,7 +262,10 @@ let read_client st c =
   | exception
       Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) ->
     drop_client st c
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception
+      Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+    ->
+    ()
 
 (* --- pool event routing ---------------------------------------------- *)
 
@@ -259,10 +300,19 @@ let route_event st = function
 let accept_client st listen_fd =
   match Unix.accept listen_fd with
   | fd, _ ->
+    Unix.set_nonblock fd;
     let cid = st.next_cid in
     st.next_cid <- cid + 1;
     Hashtbl.replace st.clients cid
-      { cid; fd; out = fd; buf = Buffer.create 256; alive = true; in_open = true }
+      {
+        cid;
+        fd;
+        out = fd;
+        buf = Buffer.create 256;
+        outbuf = Buffer.create 256;
+        alive = true;
+        in_open = true;
+      }
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
 
 let run ?(on_ready = fun () -> ()) cfg =
@@ -317,16 +367,43 @@ let run ?(on_ready = fun () -> ()) cfg =
         fd = Unix.stdin;
         out = Unix.stdout;
         buf = Buffer.create 256;
+        outbuf = Buffer.create 256;
         alive = true;
         in_open = true;
       };
   on_ready ();
   let drained_notified = ref false in
+  (* The loop is exiting: push remaining buffered event lines out with
+     bounded patience instead of through further select ticks.  A
+     client that stays unwritable forfeits its tail -- the alternative
+     is a daemon that cannot shut down. *)
+  let final_flush () =
+    let deadline = Mc.Monotonic.now () +. 5.0 in
+    let rec go () =
+      let pending =
+        Hashtbl.fold
+          (fun _ c acc ->
+            if c.alive && Buffer.length c.outbuf > 0 then c :: acc else acc)
+          st.clients []
+      in
+      if pending <> [] && Mc.Monotonic.now () < deadline then begin
+        (match Unix.select [] (List.map (fun c -> c.out) pending) [] 0.1 with
+        | _, writable, _ ->
+          List.iter
+            (fun c -> if List.mem c.out writable then flush_client st c)
+            pending
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        go ()
+      end
+    in
+    go ()
+  in
   let rec loop () =
+    reap_dead st;
     let accepting = (not (Atomic.get st.draining)) && listen_fd <> None in
     if Atomic.get st.draining && not !drained_notified then begin
       drained_notified := true;
-      Hashtbl.iter (fun _ c -> send_line st c Protocol.draining) st.clients
+      Hashtbl.iter (fun _ c -> send_line c Protocol.draining) st.clients
     end;
     let fds =
       (if accepting then Option.to_list listen_fd else [])
@@ -334,8 +411,14 @@ let run ?(on_ready = fun () -> ()) cfg =
           (fun _ c acc -> if c.in_open then c.fd :: acc else acc)
           st.clients []
     in
-    let ready, _, _ =
-      match Unix.select fds [] [] cfg.tick_s with
+    let wfds =
+      Hashtbl.fold
+        (fun _ c acc ->
+          if c.alive && Buffer.length c.outbuf > 0 then c.out :: acc else acc)
+        st.clients []
+    in
+    let ready, writable, _ =
+      match Unix.select fds wfds [] cfg.tick_s with
       | r -> r
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
     in
@@ -351,6 +434,16 @@ let run ?(on_ready = fun () -> ()) cfg =
           | Some c -> read_client st c
           | None -> ())
       ready;
+    List.iter
+      (fun fd ->
+        match
+          Hashtbl.fold
+            (fun _ c acc -> if c.out = fd then Some c else acc)
+            st.clients None
+        with
+        | Some c -> flush_client st c
+        | None -> ())
+      writable;
     Pool.supervise st.pool;
     List.iter (route_event st) (Pool.poll st.pool);
     Obs.Registry.set st.jps_gauge (jobs_per_s st);
@@ -358,7 +451,8 @@ let run ?(on_ready = fun () -> ()) cfg =
       (* Drain complete: flush any last events and stop. *)
       List.iter (route_event st) (Pool.poll st.pool);
       Pool.shutdown st.pool;
-      List.iter (route_event st) (Pool.poll st.pool)
+      List.iter (route_event st) (Pool.poll st.pool);
+      final_flush ()
     end
     else loop ()
   in

@@ -23,9 +23,15 @@
      requeued, and a fresh slot takes its place.  The orphan domain is
      deliberately never joined.
 
-   Exactly-once resolution per execution: [job.inflight] is flipped
-   under the event lock, so a worker finishing "just as" the
-   supervisor declares it hung resolves the job exactly once. *)
+   Exactly-once resolution per execution: every dispatch is stamped
+   with the attempt number it runs, and both resolution paths
+   ([finish] and [requeue_or_fail]) require [job.inflight] AND
+   [job.attempt = attempt-at-dispatch] under the event lock.  The
+   inflight flag alone is not enough: a requeue resets it to true for
+   the retry, so a zombie worker waking up after its job was requeued
+   would otherwise resolve the retry's execution (double Finished with
+   [max_attempts = 2], or a double-running job with more).  The
+   attempt stamp makes a stale execution's finish/requeue a no-op. *)
 
 exception Injected_crash
 (* Raised by the fault hook when a job's test-only fault spec fires;
@@ -71,7 +77,10 @@ type slot = {
   busy : bool Atomic.t;
   cancel : bool Atomic.t;
   dead : string option Atomic.t;
-  current : job option Atomic.t;
+  current : (job * int) option Atomic.t;
+      (* job plus the attempt number this dispatch is running, so the
+         supervisor's requeue paths carry the same stamp the worker
+         got *)
   abandoned : bool Atomic.t;
 }
 
@@ -181,9 +190,14 @@ let failed_report (job : job) reason =
 
 (* --- exactly-once job resolution ------------------------------------ *)
 
-let finish t slot (job : job) ~resumed_at report =
+(* [attempt] is the attempt number stamped at dispatch: an execution
+   may only resolve the job while the job is still on that attempt.
+   After a requeue bumps [job.attempt], the abandoned execution's late
+   finish/requeue no longer matches and is dropped. *)
+
+let finish t slot (job : job) ~attempt ~resumed_at report =
   Mutex.lock t.ev_lock;
-  let mine = job.inflight in
+  let mine = job.inflight && job.attempt = attempt in
   if mine then job.inflight <- false;
   Mutex.unlock t.ev_lock;
   if mine then begin
@@ -192,9 +206,9 @@ let finish t slot (job : job) ~resumed_at report =
     emit t (Finished (job, slot.sid, resumed_at, report))
   end
 
-let requeue_or_fail t (job : job) ~reason =
+let requeue_or_fail t (job : job) ~attempt ~reason =
   Mutex.lock t.ev_lock;
-  let mine = job.inflight in
+  let mine = job.inflight && job.attempt = attempt in
   let retry = mine && job.attempt < t.cfg.max_attempts in
   if mine then begin
     job.inflight <- false;
@@ -237,22 +251,38 @@ let limits_for t (job : job) ~remaining ~pressure:p man =
   Mc.Limits.start ?max_live_nodes:max_live ?max_seconds:remaining
     ~max_iterations:200 man
 
-let run_job t slot (job : job) =
+let run_job t slot (job : job) ~attempt =
   let now = Mc.Monotonic.now () in
   let remaining = Option.map (fun d -> d -. now) job.deadline_at in
   match remaining with
   | Some r when r <= 0.0 ->
-    finish t slot job ~resumed_at:0 (failed_report job "deadline expired")
+    finish t slot job ~attempt ~resumed_at:0
+      (failed_report job "deadline expired")
   | _ ->
     let p = note_pressure t (pressure t) in
+    (* The heartbeat hook goes onto the fresh manager before the model
+       is rebuilt, so the thaw of a large model beats too (the fault
+       hook waits until after the thaw: injection offsets are relative
+       to the run proper, and a cancel landing mid-thaw gains nothing
+       -- the thaw is bounded work). *)
     let model =
-      Mc.Parallel.thaw ?cache_budget:(thaw_cache_budget ~pressure:p) job.frozen
+      Mc.Parallel.thaw
+        ?cache_budget:(thaw_cache_budget ~pressure:p)
+        ~on_manager:(fun m ->
+          Bdd.set_progress_hook m
+            (Some
+               (fun m ->
+                 if not (Atomic.get slot.abandoned) then begin
+                   beat slot;
+                   Atomic.set slot.live (Bdd.live_nodes m)
+                 end)))
+        job.frozen
     in
     let man = Mc.Model.man model in
     let spec = job.spec in
     let resume_from =
       match job.checkpoint_path with
-      | Some path when job.attempt > 1 -> Mc.Checkpoint.load_opt man path
+      | Some path when attempt > 1 -> Mc.Checkpoint.load_opt man path
       | _ -> None
     in
     let resumed_at =
@@ -264,7 +294,7 @@ let run_job t slot (job : job) =
        first attempt so the retry can demonstrate recovery. *)
     let inject =
       match spec.Jobspec.fault with
-      | Some f when job.attempt = 1 -> Some f
+      | Some f when attempt = 1 -> Some f
       | _ -> None
     in
     let iter_armed = ref false in
@@ -288,22 +318,23 @@ let run_job t slot (job : job) =
                match f.Jobspec.action with
                | Jobspec.Crash -> raise Injected_crash
                | Jobspec.Exceed -> raise (Mc.Limits.Exceeded "injected exceed"))));
-    Bdd.set_progress_hook man
-      (Some
-         (fun m ->
-           beat slot;
-           Atomic.set slot.live (Bdd.live_nodes m)));
+    (* Abandoned slots go silent: the module comment promises late
+       events from a zombie are suppressed, so every hook (including
+       the progress hook installed at thaw time above) checks the flag
+       before beating or emitting. *)
     Obs.Iterlog.clear ();
     Obs.Iterlog.set_sink
       (Some
          (fun row ->
-           beat slot;
-           (match inject with
-           | Some { Jobspec.after_iterations = Some n; _ }
-             when row.Obs.Iterlog.iteration >= n ->
-             iter_armed := true
-           | _ -> ());
-           if spec.Jobspec.progress then emit t (Progress (job, row))));
+           if not (Atomic.get slot.abandoned) then begin
+             beat slot;
+             (match inject with
+             | Some { Jobspec.after_iterations = Some n; _ }
+               when row.Obs.Iterlog.iteration >= n ->
+               iter_armed := true
+             | _ -> ());
+             if spec.Jobspec.progress then emit t (Progress (job, row))
+           end));
     Fun.protect
       ~finally:(fun () -> Obs.Iterlog.set_sink None)
       (fun () ->
@@ -329,7 +360,30 @@ let run_job t slot (job : job) =
           | Jobspec.Portfolio -> (
             let domains = if p >= 2 then 1 else t.cfg.portfolio_domains in
             try
-              let res = Mc.Parallel.portfolio ~domains ~limits model in
+              (* The portfolio runs on child domains with private
+                 managers, so the hooks installed above never fire;
+                 heartbeat and cancel are re-threaded through the
+                 portfolio's own callbacks (else every portfolio job
+                 longer than the hang timeout would be declared hung
+                 and its domains leaked).  [slot.live] holds the most
+                 recent reporter's count -- a per-slot gauge
+                 approximation, same as the sequential case. *)
+              let res =
+                Mc.Parallel.portfolio ~domains ~limits
+                  ~should_cancel:(fun () -> Atomic.get slot.cancel)
+                  ~on_progress:(fun ~live ->
+                    if not (Atomic.get slot.abandoned) then begin
+                      beat slot;
+                      Atomic.set slot.live live
+                    end)
+                  ~iter_sink:(fun row ->
+                    if not (Atomic.get slot.abandoned) then begin
+                      beat slot;
+                      if spec.Jobspec.progress then
+                        emit t (Progress (job, row))
+                    end)
+                  model
+              in
               match res.Mc.Parallel.winner with
               | Some (_, r) -> r
               | None -> (
@@ -339,11 +393,24 @@ let run_job t slot (job : job) =
             with Mc.Limits.Exceeded why ->
               failed_report job (Printf.sprintf "exceeded: %s" why))
         in
-        if Atomic.get slot.cancel then
+        if Atomic.get slot.abandoned then
+          (* Zombie waking up: the supervisor already requeued this
+             execution's job and replaced the slot.  Anything we could
+             say now is a late event; drop it (the attempt stamp would
+             make it a no-op anyway). *)
+          ()
+        else if Atomic.get slot.cancel && not (Mc.Parallel.decided report)
+        then
           (* The supervisor declared us hung and the cancel landed:
-             this execution's verdict is void; retry if allowed. *)
-          requeue_or_fail t job ~reason:"hung (cancelled mid-run)"
-        else finish t slot job ~resumed_at report)
+             this execution was aborted short of a verdict; retry if
+             allowed. *)
+          requeue_or_fail t job ~attempt ~reason:"hung (cancelled mid-run)"
+        else
+          (* Either no cancel, or the cancel lost the race to a real
+             Proved/Violated verdict -- a decided report is sound
+             regardless of how slowly it arrived, so deliver it rather
+             than burning an attempt. *)
+          finish t slot job ~attempt ~resumed_at report)
 
 (* --- worker lifecycle ------------------------------------------------ *)
 
@@ -358,11 +425,16 @@ let worker_loop t slot =
           (* Popped during abandonment: hand the job back untouched. *)
           Admission.push_urgent t.queue job
         else begin
-          Atomic.set slot.current (Some job);
+          (* Stamp this dispatch with the attempt it runs ([attempt] is
+             mutated under the event lock, so read it there too). *)
+          Mutex.lock t.ev_lock;
+          let attempt = job.attempt in
+          Mutex.unlock t.ev_lock;
+          Atomic.set slot.current (Some (job, attempt));
           Atomic.set slot.cancel false;
           Atomic.set slot.busy true;
           beat slot;
-          run_job t slot job;
+          run_job t slot job ~attempt;
           (* Reached only on normal completion: a crash must leave
              [busy]/[current] set so the supervisor can requeue. *)
           Atomic.set slot.busy false;
@@ -464,8 +536,8 @@ let supervise t =
         Obs.Registry.incr t.crashes;
         emit t (Worker_died (slot.sid, why));
         (match Atomic.get slot.current with
-        | Some job ->
-          requeue_or_fail t job
+        | Some (job, attempt) ->
+          requeue_or_fail t job ~attempt
             ~reason:(Printf.sprintf "worker crashed: %s" why)
         | None -> ());
         respawn t i
@@ -479,8 +551,8 @@ let supervise t =
                orphan domain is never joined. *)
             Atomic.set slot.abandoned true;
             (match Atomic.get slot.current with
-            | Some job ->
-              requeue_or_fail t job ~reason:"worker hung (abandoned)"
+            | Some (job, attempt) ->
+              requeue_or_fail t job ~attempt ~reason:"worker hung (abandoned)"
             | None -> ());
             emit t (Worker_replaced slot.sid);
             respawn t i

@@ -20,9 +20,13 @@
 
     Every admitted job is resolved exactly once — with a [Finished]
     event — even when a worker verdict races the supervisor's hang
-    declaration.  Failed jobs retry up to [max_attempts] total
-    attempts; an XICI retry resumes from the job's checkpoint when one
-    was written. *)
+    declaration: each dispatch is stamped with its attempt number and
+    only the current attempt may resolve the job, so a zombie waking
+    after its job was requeued cannot touch the retry.  A cancel that
+    loses the race to a real Proved/Violated verdict delivers that
+    verdict instead of voiding it.  Failed jobs retry up to
+    [max_attempts] total attempts; an XICI retry resumes from the
+    job's checkpoint when one was written. *)
 
 exception Injected_crash
 (** Raised by a job's test-only fault spec; deliberately not caught by

@@ -375,6 +375,44 @@ let prop_portfolio_agreement spec =
     | Mc.Report.Exceeded _ -> false)
   | None -> false
 
+let test_portfolio_liveness_hooks () =
+  (* All portfolio work happens on private managers in child domains,
+     so hooks a supervised caller installed on its own manager never
+     fire.  The optional callbacks are how a supervisor's heartbeat
+     reaches the run -- they must actually be invoked from the worker
+     domains, else every long portfolio job reads as hung. *)
+  let rows = Atomic.make 0 in
+  let res =
+    Mc.Parallel.portfolio ~domains:2 ~limits
+      ~on_progress:(fun ~live:_ -> ())
+      ~iter_sink:(fun _ -> Atomic.incr rows)
+      (counter_model ~good_limit:3)
+  in
+  (match res.Mc.Parallel.winner with
+  | Some (_, r) ->
+    Alcotest.(check bool) "hooks do not perturb the verdict" true
+      (Mc.Parallel.decided r)
+  | None -> Alcotest.fail "portfolio should still decide");
+  Alcotest.(check bool) "iteration rows streamed from worker domains" true
+    (Atomic.get rows > 0)
+
+let test_portfolio_external_cancel () =
+  (* A caller-supplied cancel must stop the run: no new config starts
+     and no verdict is produced, mirroring how a pool supervisor aborts
+     a job it has declared hung. *)
+  let res =
+    Mc.Parallel.portfolio ~domains:2 ~limits
+      ~should_cancel:(fun () -> true)
+      (counter_model ~good_limit:3)
+  in
+  Alcotest.(check bool) "no winner under external cancel" true
+    (res.Mc.Parallel.winner = None);
+  List.iter
+    (fun (_, r) ->
+      Alcotest.(check bool) "nothing decided under external cancel" true
+        (not (Mc.Parallel.decided r)))
+    res.Mc.Parallel.reports
+
 (* --- parallel pair scoring -------------------------------------------- *)
 
 let test_pair_evaluator_equivalence () =
@@ -442,6 +480,10 @@ let () =
             test_freeze_thaw_corrupt;
           Alcotest.test_case "portfolio verdict matches sequential" `Quick
             test_portfolio_matches_sequential;
+          Alcotest.test_case "portfolio liveness hooks reach workers" `Quick
+            test_portfolio_liveness_hooks;
+          Alcotest.test_case "portfolio external cancel" `Quick
+            test_portfolio_external_cancel;
           Alcotest.test_case "pair evaluator preserves the trajectory" `Quick
             test_pair_evaluator_equivalence;
           qtest ~count:20 "portfolio agrees with explicit-state reference"

@@ -329,6 +329,35 @@ let test_daemon_overload () =
         (Some "proved") (ev_str "verdict" r))
     results
 
+let test_daemon_portfolio_liveness () =
+  (* Portfolio jobs run in child domains; their heartbeats must reach
+     the slot through the portfolio's liveness callbacks.  With a hang
+     timeout shorter than the job, a pool that loses those beats
+     falsely declares the worker hung, burns every attempt and fails
+     the job (regression: portfolio jobs never updated the slot
+     heartbeat, so any portfolio run longer than the timeout died). *)
+  let cfg sock =
+    { (base_cfg sock) with Srv.Daemon.workers = 1; hang_timeout_s = 1.5 }
+  in
+  let job =
+    {|{"id":"pf","model":{"family":"filter","depth":8},"method":"portfolio"}|}
+  in
+  let sock = tmp_sock () in
+  let events =
+    with_daemon (cfg sock) (fun () ->
+        talk sock [ job; {|{"type":"shutdown"}|} ])
+  in
+  Alcotest.(check int) "never declared hung" 0
+    (List.length
+       (List.filter
+          (fun j -> ev_type j = "retry" && ev_id j = Some "pf")
+          events));
+  match find_result "pf" events with
+  | None -> Alcotest.fail "no result for the portfolio job"
+  | Some r ->
+    Alcotest.(check (option string)) "portfolio verdict" (Some "proved")
+      (ev_str "verdict" r)
+
 let rm_rf_dir dir =
   if Sys.file_exists dir then begin
     Array.iter
@@ -410,6 +439,8 @@ let () =
           Alcotest.test_case "verdict parity" `Quick test_daemon_verdict_parity;
           Alcotest.test_case "overload rejects explicitly" `Quick
             test_daemon_overload;
+          Alcotest.test_case "portfolio jobs stay live under supervision"
+            `Quick test_daemon_portfolio_liveness;
           Alcotest.test_case "crash, respawn, resume" `Quick
             test_daemon_crash_resume;
         ] );
