@@ -71,9 +71,9 @@ let with_tracing trace_out trace_format f =
       f
 
 let run_checked model_name depth width procs regs bound assisted bug meth_name
-    trace max_seconds max_live grow_threshold parallel portfolio resilient
-    retries budget_escalation max_created checkpoint checkpoint_every resume
-    fallback stats trace_out trace_format verbose =
+    trace max_seconds max_live grow_threshold parallel batch props speculate
+    portfolio resilient retries budget_escalation max_created checkpoint checkpoint_every
+    resume fallback stats trace_out trace_format verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -107,7 +107,63 @@ let run_checked model_name depth width procs regs bound assisted bug meth_name
   in
   Format.printf "model: %s@." model.Mc.Model.name;
   with_tracing trace_out trace_format (fun () ->
-  if portfolio then begin
+  if batch then begin
+    (* Batch mode: verify the model's property conjuncts as separate
+       properties in one orchestrated run (shared images, pooled
+       invariants, speculative assumptions with a soundness recheck). *)
+    let meth =
+      match Mc.Runner.of_name meth_name with
+      | Some m -> m
+      | None ->
+        failwith
+          (Printf.sprintf "--batch needs a single --method, not %S" meth_name)
+    in
+    let all_props = Mc.Batch.of_goods model in
+    let selected =
+      if props = [] then all_props
+      else
+        List.map
+          (fun s ->
+            let s = String.trim s in
+            let found =
+              match int_of_string_opt s with
+              | Some i -> List.nth_opt all_props i
+              | None ->
+                List.find_opt (fun p -> p.Mc.Batch.pname = s) all_props
+            in
+            match found with
+            | Some p -> p
+            | None ->
+              failwith
+                (Printf.sprintf
+                   "unknown property %S (the model has %d conjuncts, p0..p%d)"
+                   s (List.length all_props)
+                   (List.length all_props - 1)))
+          props
+    in
+    let res =
+      Mc.Batch.run ~limits ~meth ~xici_cfg ~speculate
+        ~domains:(max 1 parallel) model selected
+    in
+    Format.printf "batch: %d propertie(s) on %d domain(s), %.2fs wall@."
+      (List.length selected) res.Mc.Batch.domains_used
+      res.Mc.Batch.wall_time_s;
+    Format.printf "%s@." Mc.Report.header;
+    List.iter
+      (fun (it : Mc.Batch.item) ->
+        Format.printf "%a@." Mc.Report.pp_row it.Mc.Batch.report;
+        if it.Mc.Batch.rechecked then
+          Format.printf "  %s rechecked after a refuted speculation@."
+            it.Mc.Batch.prop.Mc.Batch.pname;
+        show_trace it.Mc.Batch.prop.Mc.Batch.pname it.Mc.Batch.report)
+      res.Mc.Batch.items;
+    let s = res.Mc.Batch.stats in
+    Format.printf
+      "invariants shared %d, speculated %d, refuted %d, rechecks %d@."
+      s.Mc.Batch.invariants_shared s.Mc.Batch.invariants_speculated
+      s.Mc.Batch.speculations_refuted s.Mc.Batch.rechecks
+  end
+  else if portfolio then begin
     (* Portfolio mode: race the default configuration mix on worker
        domains; first sound verdict wins, losers are cancelled. *)
     let domains = max 2 parallel in
@@ -183,14 +239,14 @@ let run_checked model_name depth width procs regs bound assisted bug meth_name
   if stats then Mc.Telemetry.print_summary (Mc.Model.man model)
 
 let run model_name depth width procs regs bound assisted bug meth_name trace
-    max_seconds max_live grow_threshold parallel portfolio resilient retries
-    budget_escalation max_created checkpoint checkpoint_every resume fallback
-    stats trace_out trace_format verbose =
+    max_seconds max_live grow_threshold parallel batch props speculate
+    portfolio resilient retries budget_escalation max_created checkpoint
+    checkpoint_every resume fallback stats trace_out trace_format verbose =
   try
     run_checked model_name depth width procs regs bound assisted bug meth_name
-      trace max_seconds max_live grow_threshold parallel portfolio resilient
-      retries budget_escalation max_created checkpoint checkpoint_every resume
-      fallback stats trace_out trace_format verbose
+      trace max_seconds max_live grow_threshold parallel batch props speculate
+      portfolio resilient retries budget_escalation max_created checkpoint
+      checkpoint_every resume fallback stats trace_out trace_format verbose
   with
   | Failure msg
   | Sys_error msg
@@ -263,6 +319,38 @@ let () =
             "Worker domains.  With --portfolio, race configurations on \
              $(docv) domains; without it, parallelise the XICI pairwise \
              scoring across $(docv) scratch managers.")
+  in
+  let batch =
+    Arg.(
+      value & flag
+      & info [ "batch" ]
+          ~doc:
+            "Verify the model's property conjuncts as separate properties in \
+             one batch: shared image computations and a pooled invariant \
+             store (add --speculate for cross-property assumptions).  With \
+             --parallel N, properties are scheduled onto $(i,N) worker \
+             domains.")
+  in
+  let props =
+    Arg.(
+      value & opt_all string []
+      & info [ "prop" ] ~docv:"P"
+          ~doc:
+            "Verify only property $(docv) (an index or a name like p2; \
+             repeatable).  Only meaningful with --batch; default: all \
+             conjuncts.")
+  in
+  let speculate =
+    Arg.(
+      value & flag
+      & info [ "speculate" ]
+          ~doc:
+            "In --batch mode, speculatively assume the goods of undecided \
+             properties while verifying each property (verdicts stay sound: \
+             conditional proofs are discharged or rechecked).  Off by \
+             default: the assumption conjunction is a monolithic BDD over \
+             every property's variables, which usually costs more than it \
+             saves.")
   in
   let portfolio =
     Arg.(
@@ -365,7 +453,7 @@ let () =
       Term.(
         const run $ model $ depth $ width $ procs $ regs $ bound $ assisted
         $ bug $ meth $ trace $ max_seconds $ max_live $ grow $ parallel
-        $ portfolio $ resilient
+        $ batch $ props $ speculate $ portfolio $ resilient
         $ retries $ budget_escalation $ max_created $ checkpoint
         $ checkpoint_every $ resume $ fallback $ stats $ trace_out
         $ trace_format $ verbose)

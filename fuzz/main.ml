@@ -156,9 +156,11 @@ let () =
   in
   let targets =
     Arg.(
-      value & opt string "diff,metamorph,taut,bddops"
+      value & opt string "diff,metamorph,taut,bddops,batch"
       & info [ "targets" ] ~docv:"T1,T2,..."
-          ~doc:"Comma-separated targets: diff, metamorph, taut, bddops.")
+          ~doc:
+            "Comma-separated targets: diff, metamorph, taut, bddops, \
+             tinycache, batch.")
   in
   let corpus =
     Arg.(

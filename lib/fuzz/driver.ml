@@ -8,9 +8,9 @@
    QCheck2's integrated shrinking: the counterexamples reported for a
    failing batch are already minimal. *)
 
-type target = Diff | Metamorph | Taut | Bddops | Tinycache
+type target = Diff | Metamorph | Taut | Bddops | Tinycache | Batchfuzz
 
-let all_targets = [ Diff; Metamorph; Taut; Bddops; Tinycache ]
+let all_targets = [ Diff; Metamorph; Taut; Bddops; Tinycache; Batchfuzz ]
 
 let target_name = function
   | Diff -> "diff"
@@ -18,6 +18,7 @@ let target_name = function
   | Taut -> "taut"
   | Bddops -> "bddops"
   | Tinycache -> "tinycache"
+  | Batchfuzz -> "batch"
 
 let target_of_string = function
   | "diff" -> Some Diff
@@ -25,6 +26,7 @@ let target_of_string = function
   | "taut" -> Some Taut
   | "bddops" -> Some Bddops
   | "tinycache" -> Some Tinycache
+  | "batch" -> Some Batchfuzz
   | _ -> None
 
 type failure = { entry : Corpus.entry; counterexamples : string list }
@@ -75,6 +77,11 @@ let test_of_target target ~count =
       ~print:(with_diag Spec.to_string (fun s -> Metamorph.check_spec s))
       (Spec.gen ())
       (fun spec -> Metamorph.check_spec spec = None)
+  | Batchfuzz ->
+    QCheck2.Test.make ~count ~name
+      ~print:(with_diag Batchfuzz.print_case (fun c -> Batchfuzz.check_case c))
+      Batchfuzz.gen
+      (fun c -> Batchfuzz.check_case c = None)
   | Taut ->
     QCheck2.Test.make ~count ~name
       ~print:(with_diag_result Tautfuzz.print_list Tautfuzz.check_tautology)

@@ -200,6 +200,58 @@ let check_telemetry ~limits ~expected spec =
                with End_of_file -> ());
               !bad)))
 
+(* --- batch metamorphic properties ------------------------------------ *)
+
+(* A batch's per-property verdicts are a function of each property
+   alone, not of how the batch is assembled: permuting the property
+   order, duplicating a property and splitting one batch into two must
+   all preserve every verdict.  These catch order-dependent speculation
+   bugs -- an assumption that leaks into a verdict survives exactly
+   until the assumed property moves to the other side of its user. *)
+
+let batch_verdicts ~limits spec props =
+  let model, bprops = Spec.build_batch spec props in
+  (* speculation on: the transforms below exist to catch exactly the
+     order-dependence bugs the assumption channel can introduce *)
+  let res = Mc.Batch.run ~limits ~speculate:true model bprops in
+  List.map (fun (it : Mc.Batch.item) -> verdict_of it.Mc.Batch.report)
+    res.Mc.Batch.items
+
+let check_batch ?(limits = Oracle.default_limits) (spec : Spec.t) props =
+  let expected =
+    List.map
+      (fun p -> Spec.reference_verdict { spec with Spec.goods = p })
+      props
+  in
+  let agree name props' expected' =
+    if batch_verdicts ~limits spec props' = List.map Option.some expected'
+    then None
+    else
+      Some
+        { check = name;
+          detail = "batch verdicts changed under the transform" }
+  in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  let drop n l = List.filteri (fun i _ -> i >= n) l in
+  let half = (List.length props + 1) / 2 in
+  let checks =
+    [
+      (fun () -> agree "batch-identity" props expected);
+      (fun () -> agree "batch-permute" (List.rev props) (List.rev expected));
+      (fun () ->
+        match (props, expected) with
+        | p :: _, e :: _ ->
+          agree "batch-dup" (props @ [ p ]) (expected @ [ e ])
+        | [], _ | _, [] -> None);
+      (fun () -> agree "batch-split-left" (take half props) (take half expected));
+      (fun () ->
+        agree "batch-split-right" (drop half props) (drop half expected));
+    ]
+  in
+  List.fold_left
+    (fun acc f -> match acc with Some _ -> acc | None -> f ())
+    None checks
+
 let check_spec ?(limits = Oracle.default_limits) spec =
   let expected = Spec.reference_verdict spec in
   let checks =

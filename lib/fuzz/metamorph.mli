@@ -25,3 +25,14 @@ val check_spec :
     kill + resume reaches the uninterrupted answer, and running with
     telemetry enabled (registry + JSONL trace sink) neither changes the
     verdict nor emits a line that fails an [Obs.Json] round-trip. *)
+
+val check_batch :
+  ?limits:(Bdd.man -> Mc.Limits.t) ->
+  Spec.t ->
+  Expr.t list list ->
+  disagreement option
+(** Batch metamorphic properties over {!Mc.Batch}: per-property
+    verdicts must survive permuting the property order, duplicating a
+    property and splitting the batch into two independent batches (all
+    compared against each property's explicit reference verdict) —
+    the transforms that expose order-dependent speculation bugs. *)

@@ -150,6 +150,30 @@ let build_model ?cache_budget spec =
   in
   Mc.Model.make ~fd_candidates ~name:"fuzz" ~space:sp ~trans ~init ~good ()
 
+(* A multi-property batch problem: one model whose good list
+   concatenates every property's conjuncts (build_model preserves list
+   order and duplicates), sliced back into [Mc.Batch.property] values
+   over that model's manager. *)
+let build_batch ?cache_budget spec props =
+  let model = build_model ?cache_budget { spec with goods = List.concat props } in
+  let rec slice goods i = function
+    | [] ->
+      if goods <> [] then invalid_arg "build_batch: leftover goods";
+      []
+    | p :: rest ->
+      let rec take k gs acc =
+        if k = 0 then (List.rev acc, gs)
+        else
+          match gs with
+          | g :: tl -> take (k - 1) tl (g :: acc)
+          | [] -> invalid_arg "build_batch: good list too short"
+      in
+      let mine, goods = take (List.length p) goods [] in
+      { Mc.Batch.pname = Printf.sprintf "p%d" i; goods = mine }
+      :: slice goods (i + 1) rest
+  in
+  (model, slice model.Mc.Model.good 0 props)
+
 (* --- explicit-state reference ---------------------------------------- *)
 
 let succs spec s =

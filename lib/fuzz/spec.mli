@@ -53,6 +53,18 @@ val build_model : ?cache_budget:int -> t -> Mc.Model.t
     the tinycache fuzz target uses to prove lossy caching never changes
     a verdict. *)
 
+val build_batch :
+  ?cache_budget:int ->
+  t ->
+  Expr.t list list ->
+  Mc.Model.t * Mc.Batch.property list
+(** [build_batch spec props] builds one model carrying every property's
+    conjuncts (the spec's own goods are replaced by their
+    concatenation) and returns it with the properties sliced back out
+    as BDDs over its manager, named ["p0".."p{n-1}"] — the input to
+    {!Mc.Batch.run}.  Each property's reference verdict is
+    [reference_verdict { spec with goods = List.nth props i }]. *)
+
 val reference_verdict : t -> bool
 (** Explicit-state reference: true iff every reachable state is good. *)
 

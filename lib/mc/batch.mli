@@ -1,0 +1,113 @@
+(** Multi-property ("batch") verification with speculative invariant
+    sharing.
+
+    A batch verifies properties [P1..Pn] against one model in a single
+    orchestrated run, instead of [n] independent runs.  Three sharing
+    channels make the batch cheaper than its sequential unrolling:
+
+    - {b Shared image computations.}  Every property is checked on the
+      same manager, space and transition relation, so the computed-table
+      entries built by one property's traversal (back images in
+      particular) are hits for the next.
+    - {b Proven invariants.}  Whatever a property run establishes
+      unconditionally — its own good conjuncts once finally proved, and
+      the converged XICI conjunction ({!Xici.run_full}'s derived
+      invariants, which are inductive and implied by init regardless of
+      what property seeded the traversal) — enters a per-model pool that
+      later runs receive as {!Model.t.assisting} conjuncts.
+    - {b Speculative assumptions} (opt-in).  The goods of properties
+      not yet decided are assumed known ("the benefit of wrong
+      assumptions"): property [Pi]'s goods are transformed to
+      [AS => g] where [AS] is the conjunction of the assumed
+      conjuncts.
+
+    {b Soundness.}  A [Violated] verdict under the transform is always
+    genuine: the counterexample's end state violates some [AS => g], so
+    it satisfies [AS] and violates the original [g] — the trace replays
+    against the untransformed property.  (It cannot instead violate a
+    pooled assisting conjunct, because those are true invariants and the
+    trace only visits reachable states.)  A [Proved] verdict with a
+    nonempty assumption set is only {e conditional}: it is recorded with
+    the set of property indices its assumptions came from.  After the
+    first sweep, conditional verdicts are resolved to a fixpoint:
+    a conditional whose dependencies all ended finally proved is
+    discharged as-is; one with a refuted (violated or exceeded)
+    dependency is tainted and {e rechecked} — re-run with no speculation,
+    proven-pool assisting only — as is one conditional of any residual
+    dependency cycle.  Every resolution step finalises at least one
+    property, so at most [n] rechecks run and every returned verdict is
+    unconditional.
+
+    Counters under [batch.*] in {!Obs.Registry.default}:
+    [invariants_shared] (pool conjuncts injected as assisting, summed
+    over runs), [invariants_speculated] (assumed conjuncts, summed over
+    runs), [speculations_refuted] (refuted dependency edges of tainted
+    proofs) and [rechecks]. *)
+
+type property = {
+  pname : string;
+  goods : Bdd.t list;  (** implicit conjunction, over the model's manager *)
+}
+
+val of_goods : ?names:string list -> Model.t -> property list
+(** One property per conjunct of [model.good], named ["p0".."p{n-1}"]
+    unless [names] supplies better ones (missing tail entries fall back
+    to the positional names). *)
+
+type item = {
+  prop : property;
+  report : Report.t;
+      (** the final (unconditional) verdict; violation traces are valid
+          for the untransformed property *)
+  speculative : Report.t option;
+      (** the speculative report this property held before a recheck
+          replaced it; [None] unless [rechecked] *)
+  assumed : int list;
+      (** indices (into the batch's property list) whose goods this
+          property's first run assumed *)
+  rechecked : bool;
+}
+
+type stats = {
+  invariants_shared : int;
+  invariants_speculated : int;
+  speculations_refuted : int;
+  rechecks : int;
+}
+
+type result = {
+  items : item list;  (** in the order the properties were given *)
+  stats : stats;
+  domains_used : int;
+  wall_time_s : float;
+}
+
+val run :
+  ?limits:(Bdd.man -> Limits.t) ->
+  ?meth:Runner.meth ->
+  ?xici_cfg:Ici.Policy.config ->
+  ?termination:Xici.termination ->
+  ?var_choice:Ici.Tautology.var_choice ->
+  ?speculate:bool ->
+  ?domains:int ->
+  Model.t ->
+  property list ->
+  result
+(** Verify every property against [model] (whose own [good] list is
+    ignored in favour of the given properties; its [assisting] conjuncts
+    apply to every run).  [meth] defaults to [Xici] — the only method
+    that harvests derived invariants into the pool; any method still
+    gets assisting injection.  [speculate] (default [false]) enables
+    the assumption channel on top of pool sharing.  It is opt-in
+    because the transformed good [¬AS ∨ g] is one monolithic BDD over
+    every assumed property's variables, so a backward traversal must
+    track all of them at once: on the paper's example families that
+    consistently costs more than the assumptions save (fifo-10 runs
+    ~200s speculative against ~0.01s pooled-only), while pool sharing
+    alone already beats the sequential unrolling.
+
+    [domains > 1] splits the properties round-robin across that many
+    worker domains, each verifying its share on a private thawed copy of
+    the model ({!Parallel.freeze}); sharing is then intra-domain only,
+    and reported traces are valid for the original manager because thaw
+    preserves levels exactly. *)

@@ -285,6 +285,14 @@ let route_event st = function
     | _ -> ());
     send_to st job.Pool.client
       (Protocol.result ~id:job.Pool.spec.Jobspec.id ~worker ~resumed_at report)
+  | Pool.Batch_finished (job, worker, res, report) ->
+    st.completions <- Mc.Monotonic.now () :: st.completions;
+    Obs.Registry.set st.jps_gauge (jobs_per_s st);
+    (match job.Pool.checkpoint_path with
+    | Some p when Sys.file_exists p -> ( try Sys.remove p with Sys_error _ -> ())
+    | _ -> ());
+    send_to st job.Pool.client
+      (Protocol.batch_result ~id:job.Pool.spec.Jobspec.id ~worker res report)
   | Pool.Worker_died (sid, why) ->
     Mc.Log.degraded ~what:"worker"
       ~detail:(Printf.sprintf "worker %d died: %s; respawned" sid why)

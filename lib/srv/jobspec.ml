@@ -46,6 +46,7 @@ type t = {
   id : string;
   model : model_spec;
   meth : meth;
+  batch : bool;
   deadline_s : float option;
   max_live_nodes : int option;
   grow_threshold : float option;
@@ -205,6 +206,12 @@ let of_json json =
         | Some m -> Ok m
         | None -> Error (Printf.sprintf "unknown method %S" s)
       in
+      let* batch = field_bool ~default:false "batch" json in
+      let* () =
+        if batch && meth = Portfolio then
+          Error "batch jobs need a single method, not portfolio"
+        else Ok ()
+      in
       let* deadline_s = field_float_opt "deadline_s" json in
       let* max_live_nodes = field_int_opt "max_live_nodes" json in
       let* grow_threshold = field_float_opt "grow_threshold" json in
@@ -221,6 +228,7 @@ let of_json json =
           id;
           model;
           meth;
+          batch;
           deadline_s;
           max_live_nodes;
           grow_threshold;
@@ -248,6 +256,7 @@ let to_json t =
       ("id", Obs.Json.String t.id);
       ("model", model_to_json t.model);
       ("method", Obs.Json.String (meth_name t.meth));
+      ("batch", Obs.Json.Bool t.batch);
       ("progress", Obs.Json.Bool t.progress);
     ]
   in

@@ -40,6 +40,11 @@ type t = {
   id : string;
   model : model_spec;
   meth : meth;
+  batch : bool;
+      (** verify each conjunct of the model's property as its own
+          property via {!Mc.Batch.run}, sharing derived invariants; the
+          result event carries a per-property verdict array.  Rejected
+          with [Portfolio]. *)
   deadline_s : float option;
   max_live_nodes : int option;
   grow_threshold : float option;

@@ -65,6 +65,9 @@ type event =
   | Requeued of job * string  (* reason; [job.attempt] is the retry *)
   | Finished of job * int * int * Mc.Report.t
       (* worker id, resumed-at iteration (0 = cold start) *)
+  | Batch_finished of job * int * Mc.Batch.result * Mc.Report.t
+      (* worker id, per-property outcome, aggregate report (the job's
+         single wire verdict) *)
   | Worker_died of int * string
   | Worker_hung of int
   | Worker_replaced of int
@@ -82,6 +85,11 @@ type slot = {
          supervisor's requeue paths carry the same stamp the worker
          got *)
   abandoned : bool Atomic.t;
+  mutable scratch : (string * Mc.Model.t) option;
+      (* last thawed model, keyed by [Jobspec.model_key]: consecutive
+         jobs on the same declaration reuse the manager instead of
+         re-thawing.  Worker-domain private -- the supervisor never
+         reads it, and it dies with the slot. *)
 }
 
 type config = {
@@ -120,6 +128,7 @@ type t = {
   crashes : Obs.Registry.counter;
   hangs : Obs.Registry.counter;
   requeues : Obs.Registry.counter;
+  manager_reuses : Obs.Registry.counter;
   depth_gauge : Obs.Registry.gauge;
 }
 
@@ -188,6 +197,33 @@ let failed_report (job : job) reason =
     time_s = Mc.Monotonic.now () -. job.submitted_at;
   }
 
+(* One wire verdict for a whole batch: the first violated item's report
+   if any (it carries the trace), else the first exceeded, else the
+   (proved) first item's; relabelled so the method column says it stood
+   for the batch.  The per-property detail travels separately in the
+   [Batch_finished] event. *)
+let batch_report (job : job) meth (res : Mc.Batch.result) =
+  let pick p =
+    List.find_opt
+      (fun (it : Mc.Batch.item) -> p it.Mc.Batch.report.Mc.Report.status)
+      res.Mc.Batch.items
+  in
+  let rep =
+    match
+      ( pick (function Mc.Report.Violated _ -> true | _ -> false),
+        pick (function Mc.Report.Exceeded _ -> true | _ -> false),
+        res.Mc.Batch.items )
+    with
+    | Some it, _, _ | None, Some it, _ | None, None, it :: _ ->
+      it.Mc.Batch.report
+    | None, None, [] -> failed_report job "empty batch"
+  in
+  Mc.Report.relabel rep
+    ~method_name:
+      (Printf.sprintf "batch[%d]:%s"
+         (List.length res.Mc.Batch.items)
+         (Mc.Runner.name meth))
+
 (* --- exactly-once job resolution ------------------------------------ *)
 
 (* [attempt] is the attempt number stamped at dispatch: an execution
@@ -195,7 +231,7 @@ let failed_report (job : job) reason =
    After a requeue bumps [job.attempt], the abandoned execution's late
    finish/requeue no longer matches and is dropped. *)
 
-let finish t slot (job : job) ~attempt ~resumed_at report =
+let finish t slot (job : job) ~attempt ~resumed_at ?batch report =
   Mutex.lock t.ev_lock;
   let mine = job.inflight && job.attempt = attempt in
   if mine then job.inflight <- false;
@@ -203,7 +239,9 @@ let finish t slot (job : job) ~attempt ~resumed_at report =
   if mine then begin
     Obs.Registry.incr t.jobs_done;
     Atomic.decr t.outstanding;
-    emit t (Finished (job, slot.sid, resumed_at, report))
+    match batch with
+    | Some res -> emit t (Batch_finished (job, slot.sid, res, report))
+    | None -> emit t (Finished (job, slot.sid, resumed_at, report))
   end
 
 let requeue_or_fail t (job : job) ~attempt ~reason =
@@ -260,23 +298,43 @@ let run_job t slot (job : job) ~attempt =
       (failed_report job "deadline expired")
   | _ ->
     let p = note_pressure t (pressure t) in
+    (* Scratch-manager reuse: consecutive jobs on the same declaration
+       skip the thaw and keep the previous job's unique/computed tables
+       warm.  Only at pressure 0 -- under pressure the scratch is
+       dropped so a retained manager cannot hold node capacity hostage.
+       Per-job state cannot leak through the reused manager: the fault
+       hook is reinstalled below with this job's closure, the iteration
+       sink is per-job (cleared in the [finally]), and the progress
+       hook installed at thaw time closes over this same slot. *)
+    if p >= 1 then slot.scratch <- None;
+    let key = Jobspec.model_key job.spec.Jobspec.model in
     (* The heartbeat hook goes onto the fresh manager before the model
        is rebuilt, so the thaw of a large model beats too (the fault
        hook waits until after the thaw: injection offsets are relative
        to the run proper, and a cancel landing mid-thaw gains nothing
        -- the thaw is bounded work). *)
     let model =
-      Mc.Parallel.thaw
-        ?cache_budget:(thaw_cache_budget ~pressure:p)
-        ~on_manager:(fun m ->
-          Bdd.set_progress_hook m
-            (Some
-               (fun m ->
-                 if not (Atomic.get slot.abandoned) then begin
-                   beat slot;
-                   Atomic.set slot.live (Bdd.live_nodes m)
-                 end)))
-        job.frozen
+      match slot.scratch with
+      | Some (k, m) when k = key ->
+        Obs.Registry.incr t.manager_reuses;
+        beat slot;
+        m
+      | _ ->
+        let m =
+          Mc.Parallel.thaw
+            ?cache_budget:(thaw_cache_budget ~pressure:p)
+            ~on_manager:(fun m ->
+              Bdd.set_progress_hook m
+                (Some
+                   (fun m ->
+                     if not (Atomic.get slot.abandoned) then begin
+                       beat slot;
+                       Atomic.set slot.live (Bdd.live_nodes m)
+                     end)))
+            job.frozen
+        in
+        if p = 0 then slot.scratch <- Some (key, m);
+        m
     in
     let man = Mc.Model.man model in
     let spec = job.spec in
@@ -344,8 +402,28 @@ let run_job t slot (job : job) ~attempt =
             (fun g -> { Ici.Policy.default with Ici.Policy.grow_threshold = g })
             spec.Jobspec.grow_threshold
         in
+        let batch_res = ref None in
         let report =
           match spec.Jobspec.meth with
+          | Jobspec.Method meth when spec.Jobspec.batch -> (
+            (* Batch job: one property per conjunct of the model's
+               good, verified by [Mc.Batch.run] on this worker's
+               manager (single domain -- the worker already is one, and
+               keeping the run on [man] is what lets the fault hook
+               cancel it).  The aggregate report carries the verdict;
+               the per-property detail rides the [Batch_finished]
+               event.  A retry re-runs the whole batch: speculation
+               state is per-run, so there is nothing to resume. *)
+            try
+              let props = Mc.Batch.of_goods model in
+              let res = Mc.Batch.run ~limits ?xici_cfg ~meth model props in
+              batch_res := Some res;
+              batch_report job meth res
+            with
+            | Mc.Limits.Exceeded why ->
+              failed_report job (Printf.sprintf "exceeded: %s" why)
+            | Bdd.Node_budget_exhausted ->
+              failed_report job "node budget exhausted")
           | Jobspec.Method meth -> (
             try
               Mc.Runner.run ~limits ?xici_cfg
@@ -410,7 +488,7 @@ let run_job t slot (job : job) ~attempt =
              Proved/Violated verdict -- a decided report is sound
              regardless of how slowly it arrived, so deliver it rather
              than burning an attempt. *)
-          finish t slot job ~attempt ~resumed_at report)
+          finish t slot job ~attempt ~resumed_at ?batch:!batch_res report)
 
 (* --- worker lifecycle ------------------------------------------------ *)
 
@@ -457,6 +535,7 @@ let make_slot t sid =
       dead = Atomic.make None;
       current = Atomic.make None;
       abandoned = Atomic.make false;
+      scratch = None;
     }
   in
   let d =
@@ -486,6 +565,7 @@ let create ?(config = default_config) ~queue_capacity () =
       crashes = Obs.Registry.counter reg "srv.worker_crashes";
       hangs = Obs.Registry.counter reg "srv.worker_hangs";
       requeues = Obs.Registry.counter reg "srv.requeues";
+      manager_reuses = Obs.Registry.counter reg "srv.manager_reuses";
       depth_gauge = Obs.Registry.gauge reg "srv.queue_depth";
     }
   in

@@ -18,6 +18,12 @@
       (late events suppressed), the job requeued, a fresh slot spawned
       and the orphan domain never joined.
 
+    Workers keep their last thawed model as scratch: consecutive jobs
+    naming the same declaration ({!Jobspec.model_key}) reuse the
+    manager — unique and computed tables stay warm — instead of
+    re-thawing; the scratch is dropped whenever memory pressure rises
+    above zero.  Reuses are counted under ["srv.manager_reuses"].
+
     Every admitted job is resolved exactly once — with a [Finished]
     event — even when a worker verdict races the supervisor's hang
     declaration: each dispatch is stamped with its attempt number and
@@ -58,6 +64,11 @@ type event =
   | Finished of job * int * int * Mc.Report.t
       (** worker id (-1 when synthesized by the supervisor), resumed-at
           iteration (0 = cold start), final report *)
+  | Batch_finished of job * int * Mc.Batch.result * Mc.Report.t
+      (** a batch job's terminal event: worker id, the per-property
+          {!Mc.Batch.result}, and the aggregate report that stands for
+          the whole batch on the wire (first violated item's, else
+          first exceeded, else proved) *)
   | Worker_died of int * string
   | Worker_hung of int
   | Worker_replaced of int

@@ -79,6 +79,42 @@ let result ~id ~worker ~resumed_at (report : Mc.Report.t) =
       ("resumed_at", Obs.Json.Int resumed_at);
     ]
 
+(* A batch job's terminal event keeps the ["result"] shape (clients
+   that only read ["verdict"] keep working) and adds the per-property
+   verdict array plus the sharing counters. *)
+let batch_result ~id ~worker (res : Mc.Batch.result) (report : Mc.Report.t) =
+  let item (it : Mc.Batch.item) =
+    Obs.Json.Obj
+      [
+        ("name", Obs.Json.String it.Mc.Batch.prop.Mc.Batch.pname);
+        ( "verdict",
+          Obs.Json.String (Mc.Report.status_string it.Mc.Batch.report) );
+        ("rechecked", Obs.Json.Bool it.Mc.Batch.rechecked);
+        ( "assumed",
+          Obs.Json.List (List.map (fun i -> Obs.Json.Int i) it.Mc.Batch.assumed)
+        );
+      ]
+  in
+  let s = res.Mc.Batch.stats in
+  ev "result"
+    [
+      ("id", Obs.Json.String id);
+      ("verdict", Obs.Json.String (Mc.Report.status_string report));
+      ("report", Mc.Report.to_json report);
+      ("batch", Obs.Json.List (List.map item res.Mc.Batch.items));
+      ( "batch_stats",
+        Obs.Json.Obj
+          [
+            ("invariants_shared", Obs.Json.Int s.Mc.Batch.invariants_shared);
+            ( "invariants_speculated",
+              Obs.Json.Int s.Mc.Batch.invariants_speculated );
+            ( "speculations_refuted",
+              Obs.Json.Int s.Mc.Batch.speculations_refuted );
+            ("rechecks", Obs.Json.Int s.Mc.Batch.rechecks);
+          ] );
+      ("worker", Obs.Json.Int worker);
+    ]
+
 let pong = ev "pong" []
 
 let draining = ev "draining" []

@@ -35,6 +35,14 @@ val result :
 (** Terminal verdict.  [resumed_at > 0] means this execution resumed
     from a checkpoint at that iteration. *)
 
+val batch_result :
+  id:string -> worker:int -> Mc.Batch.result -> Mc.Report.t -> Obs.Json.t
+(** Terminal verdict for a batch job.  Same ["result"] event shape —
+    ["verdict"]/["report"] are the aggregate that stands for the whole
+    batch — plus a ["batch"] array of per-property
+    name/verdict/rechecked/assumed objects and the sharing counters
+    under ["batch_stats"]. *)
+
 val pong : Obs.Json.t
 val draining : Obs.Json.t
 

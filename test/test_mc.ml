@@ -308,6 +308,138 @@ let test_collapse_counterexample () =
         Alcotest.fail "collapsed good set should yield a violation")
     [ `Exact_equal; `Exact_implication; `Pointwise ]
 
+(* --- batch verification ----------------------------------------------- *)
+
+(* Counter with one good conjunct per limit, so [Mc.Batch.of_goods]
+   yields one property per limit. *)
+let multi_counter_model limits_list =
+  let sp = Fsm.Space.create () in
+  let w = Fsm.Space.state_word ~name:"c" sp ~width:2 in
+  let tick = Fsm.Space.input_bit ~name:"tick" sp in
+  let man = Fsm.Space.man sp in
+  let c = Fsm.Space.cur_vec sp w in
+  let t = Bdd.var man tick in
+  let inc = Bvec.add man c (Bvec.const man ~width:2 1) in
+  let nextv = Bvec.mux man t inc c in
+  let assigns = [ (w.(0), nextv.(0)); (w.(1), nextv.(1)) ] in
+  let trans = Fsm.Trans.make sp ~assigns in
+  let init = Bvec.eq man c (Bvec.const man ~width:2 0) in
+  let good = List.map (fun l -> Bvec.ule_const man c l) limits_list in
+  Mc.Model.make ~name:"counter" ~space:sp ~trans ~init ~good ()
+
+let batch_item_replays model (it : Mc.Batch.item) =
+  (* Validate each counterexample against a model holding only that
+     property's goods: batch traces must be genuine for the original,
+     untransformed property, realisable step by step through
+     [Fsm.Trans.step]. *)
+  match it.Mc.Batch.report.Mc.Report.status with
+  | Mc.Report.Violated tr ->
+    let sub =
+      Mc.Model.make ~name:model.Mc.Model.name ~space:model.Mc.Model.space
+        ~trans:model.Mc.Model.trans ~init:model.Mc.Model.init
+        ~good:it.Mc.Batch.prop.Mc.Batch.goods ()
+    in
+    (match Fuzz.Oracle.replay sub tr with
+    | Ok () -> true
+    | Error _ -> false)
+  | Mc.Report.Proved | Mc.Report.Exceeded _ -> true
+
+let test_batch_recheck_flip () =
+  (* p0 = c<=2 runs first and speculatively assumes p1 = c<=1, making
+     its transformed good (c<=1 => c<=2) a tautology: p0 proves
+     conditionally.  p1 is then refuted (c reaches 2), which taints p0;
+     the recheck must flip p0's verdict to its true Violated. *)
+  let model = multi_counter_model [ 2; 1 ] in
+  let props = Mc.Batch.of_goods model in
+  let res = Mc.Batch.run ~limits ~speculate:true model props in
+  let p0 = List.nth res.Mc.Batch.items 0
+  and p1 = List.nth res.Mc.Batch.items 1 in
+  Alcotest.(check bool) "p0 was rechecked" true p0.Mc.Batch.rechecked;
+  Alcotest.(check (list int)) "p0 assumed p1" [ 1 ] p0.Mc.Batch.assumed;
+  (match p0.Mc.Batch.speculative with
+  | Some r ->
+    Alcotest.(check bool) "speculative verdict was Proved" true
+      (Mc.Report.is_proved r)
+  | None -> Alcotest.fail "p0 should retain its speculative report");
+  (match p0.Mc.Batch.report.Mc.Report.status with
+  | Mc.Report.Violated tr ->
+    Alcotest.(check int) "p0 flips to its true shortest violation" 4
+      (List.length tr)
+  | Mc.Report.Proved | Mc.Report.Exceeded _ ->
+    Alcotest.fail "recheck should flip p0 to Violated");
+  Alcotest.(check bool) "p1 refuted without recheck" false
+    p1.Mc.Batch.rechecked;
+  Alcotest.(check bool) "p1 is Violated" false
+    (Mc.Report.is_proved p1.Mc.Batch.report);
+  Alcotest.(check bool) "at least one recheck counted" true
+    (res.Mc.Batch.stats.Mc.Batch.rechecks >= 1);
+  Alcotest.(check bool) "refuted speculation counted" true
+    (res.Mc.Batch.stats.Mc.Batch.speculations_refuted >= 1);
+  List.iter
+    (fun it ->
+      Alcotest.(check bool)
+        (it.Mc.Batch.prop.Mc.Batch.pname ^ " trace replays concretely")
+        true (batch_item_replays model it))
+    res.Mc.Batch.items
+
+let test_batch_discharge () =
+  (* Both properties hold: the first proves conditionally on the
+     second, whose unconditional proof then discharges it -- no recheck
+     may run. *)
+  let model = multi_counter_model [ 3; 3 ] in
+  let res =
+    Mc.Batch.run ~limits ~speculate:true model (Mc.Batch.of_goods model)
+  in
+  List.iter
+    (fun it ->
+      Alcotest.(check bool)
+        (it.Mc.Batch.prop.Mc.Batch.pname ^ " proved")
+        true
+        (Mc.Report.is_proved it.Mc.Batch.report);
+      Alcotest.(check bool)
+        (it.Mc.Batch.prop.Mc.Batch.pname ^ " not rechecked")
+        false it.Mc.Batch.rechecked)
+    res.Mc.Batch.items;
+  Alcotest.(check int) "no rechecks" 0 res.Mc.Batch.stats.Mc.Batch.rechecks
+
+let batch_matches_sequential ?(domains = 1) meth limits_list =
+  let model = multi_counter_model limits_list in
+  let props = Mc.Batch.of_goods model in
+  let res = Mc.Batch.run ~limits ~meth ~domains ~speculate:true model props in
+  List.iteri
+    (fun i (it : Mc.Batch.item) ->
+      let sub =
+        Mc.Model.make ~name:model.Mc.Model.name ~space:model.Mc.Model.space
+          ~trans:model.Mc.Model.trans ~init:model.Mc.Model.init
+          ~good:(List.nth props i).Mc.Batch.goods ()
+      in
+      let seq = Mc.Runner.run ~limits meth sub in
+      Alcotest.(check string)
+        (Printf.sprintf "%s/p%d verdict" (Mc.Runner.name meth) i)
+        (Mc.Report.status_string seq)
+        (Mc.Report.status_string it.Mc.Batch.report);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/p%d trace replays" (Mc.Runner.name meth) i)
+        true (batch_item_replays model it))
+    res.Mc.Batch.items
+
+let test_batch_matches_sequential_all_methods () =
+  List.iter
+    (fun meth ->
+      batch_matches_sequential meth [ 2; 1 ];
+      batch_matches_sequential meth [ 3; 3 ];
+      batch_matches_sequential meth [ 3; 1; 2 ])
+    Mc.Runner.all
+
+let test_batch_parallel_domains () =
+  let model = multi_counter_model [ 3; 1; 2; 3 ] in
+  let res =
+    Mc.Batch.run ~limits ~domains:2 ~speculate:true model
+      (Mc.Batch.of_goods model)
+  in
+  Alcotest.(check int) "two domains used" 2 res.Mc.Batch.domains_used;
+  batch_matches_sequential ~domains:2 Mc.Runner.Xici [ 3; 1; 2; 3 ]
+
 (* --- freeze / thaw ---------------------------------------------------- *)
 
 let test_freeze_thaw_roundtrip () =
@@ -471,6 +603,17 @@ let () =
           Alcotest.test_case "inductiveness checker" `Quick test_induction;
           Alcotest.test_case "collapsed good set reconstructs a trace" `Quick
             test_collapse_counterexample;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "refuted speculation forces a recheck flip"
+            `Quick test_batch_recheck_flip;
+          Alcotest.test_case "conditional proofs discharge without recheck"
+            `Quick test_batch_discharge;
+          Alcotest.test_case "batch matches sequential for every method"
+            `Quick test_batch_matches_sequential_all_methods;
+          Alcotest.test_case "parallel batch matches sequential" `Quick
+            test_batch_parallel_domains;
         ] );
       ( "parallel",
         [

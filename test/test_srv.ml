@@ -50,7 +50,21 @@ let test_jobspec_rejections () =
     {|{"id":"a","model":{"family":"fifo"},"fault":{"action":"crash"}}|};
   rejects "unknown fault action"
     {|{"id":"a","model":{"family":"fifo"},"fault":{"after_steps":1,"action":"melt"}}|};
-  rejects "unparseable line" "{not json"
+  rejects "unparseable line" "{not json";
+  rejects "batch portfolio"
+    {|{"id":"a","model":{"family":"fifo"},"method":"portfolio","batch":true}|}
+
+let test_jobspec_batch_roundtrip () =
+  let j =
+    parse_job {|{"id":"b","model":{"family":"network","procs":3},"batch":true}|}
+  in
+  Alcotest.(check bool) "batch flag parsed" true j.Srv.Jobspec.batch;
+  (match Srv.Jobspec.of_json (Srv.Jobspec.to_json j) with
+  | Ok j' ->
+    Alcotest.(check bool) "batch flag roundtrips" true j'.Srv.Jobspec.batch
+  | Error why -> Alcotest.fail ("batch roundtrip rejected: " ^ why));
+  let plain = parse_job {|{"id":"p","model":{"family":"fifo"}}|} in
+  Alcotest.(check bool) "batch defaults to false" false plain.Srv.Jobspec.batch
 
 let test_model_key () =
   let j1 = parse_job {|{"id":"a","model":{"family":"fifo","procs":2}}|} in
@@ -358,6 +372,110 @@ let test_daemon_portfolio_liveness () =
     Alcotest.(check (option string)) "portfolio verdict" (Some "proved")
       (ev_str "verdict" r)
 
+let test_daemon_manager_reuse () =
+  (* Consecutive jobs naming the same declaration must reuse the
+     worker's scratch manager (counted under srv.manager_reuses), and
+     the reuse must not leak state between jobs: every verdict still
+     matches a one-shot run on a fresh manager, including a buggy
+     variant of the same family submitted right after the reused
+     pair. *)
+  let reuses =
+    Obs.Registry.counter Obs.Registry.default "srv.manager_reuses"
+  in
+  let before = Obs.Registry.count reuses in
+  let jobs =
+    [
+      {|{"id":"warm-1","model":{"family":"fifo"}}|};
+      {|{"id":"warm-2","model":{"family":"fifo"}}|};
+      {|{"id":"warm-3","model":{"family":"fifo"},"method":"forward"}|};
+      {|{"id":"cold-bug","model":{"family":"fifo","bug":true}}|};
+    ]
+  in
+  let cfg sock = { (base_cfg sock) with Srv.Daemon.workers = 1 } in
+  let sock = tmp_sock () in
+  let events =
+    with_daemon (cfg sock) (fun () ->
+        talk sock (jobs @ [ {|{"type":"shutdown"}|} ]))
+  in
+  (* Jobs 2 and 3 share job 1's declaration: one worker, so at least
+     two reuses (job 3 also proves the reused manager serves a
+     different method without cross-talk). *)
+  Alcotest.(check bool) "scratch manager reused" true
+    (Obs.Registry.count reuses - before >= 2);
+  List.iter
+    (fun line ->
+      let spec = parse_job line in
+      let id = spec.Srv.Jobspec.id in
+      match find_result id events with
+      | None -> Alcotest.fail (Printf.sprintf "no result for %s" id)
+      | Some r ->
+        let meth =
+          match spec.Srv.Jobspec.meth with
+          | Srv.Jobspec.Method m -> m
+          | Srv.Jobspec.Portfolio -> Alcotest.fail "unexpected portfolio"
+        in
+        let oneshot =
+          Mc.Runner.run meth (Srv.Jobspec.build spec.Srv.Jobspec.model)
+        in
+        Alcotest.(check (option string))
+          (Printf.sprintf "%s verdict parity through the reused manager" id)
+          (Some (Mc.Report.status_string oneshot))
+          (ev_str "verdict" r))
+    jobs
+
+let test_daemon_batch_job () =
+  (* A batch:true job verifies each conjunct of the model's property
+     as its own property; the single result event carries the
+     aggregate verdict plus a per-property array and the sharing
+     counters. *)
+  let jobs =
+    [
+      {|{"id":"batch-net","model":{"family":"network","procs":3},"batch":true}|};
+      {|{"id":"batch-bug","model":{"family":"fifo","bug":true},"batch":true}|};
+    ]
+  in
+  let sock = tmp_sock () in
+  let events =
+    with_daemon (base_cfg sock) (fun () ->
+        talk sock (jobs @ [ {|{"type":"shutdown"}|} ]))
+  in
+  let batch_items r =
+    match Obs.Json.member "batch" r with
+    | Some (Obs.Json.List items) -> items
+    | _ -> Alcotest.fail "result carries no batch array"
+  in
+  let item_verdicts r =
+    List.map
+      (fun it -> Option.value ~default:"?" (ev_str "verdict" it))
+      (batch_items r)
+  in
+  (match find_result "batch-net" events with
+  | None -> Alcotest.fail "no result for batch-net"
+  | Some r ->
+    let model =
+      Srv.Jobspec.build
+        (parse_job (List.nth jobs 0)).Srv.Jobspec.model
+    in
+    Alcotest.(check int) "one item per good conjunct"
+      (List.length model.Mc.Model.good)
+      (List.length (batch_items r));
+    Alcotest.(check (option string)) "aggregate proved" (Some "proved")
+      (ev_str "verdict" r);
+    List.iter
+      (fun v -> Alcotest.(check string) "every property proved" "proved" v)
+      (item_verdicts r);
+    Alcotest.(check bool) "sharing counters present" true
+      (Obs.Json.member "batch_stats" r <> None));
+  match find_result "batch-bug" events with
+  | None -> Alcotest.fail "no result for batch-bug"
+  | Some r ->
+    Alcotest.(check bool) "aggregate violated" true
+      (match ev_str "verdict" r with
+      | Some v -> contains ~sub:"violated" v
+      | None -> false);
+    Alcotest.(check bool) "some property violated" true
+      (List.exists (fun v -> contains ~sub:"violated" v) (item_verdicts r))
+
 let rm_rf_dir dir =
   if Sys.file_exists dir then begin
     Array.iter
@@ -422,6 +540,8 @@ let () =
           Alcotest.test_case "defaults and roundtrip" `Quick
             test_jobspec_defaults;
           Alcotest.test_case "rejections" `Quick test_jobspec_rejections;
+          Alcotest.test_case "batch flag roundtrip" `Quick
+            test_jobspec_batch_roundtrip;
           Alcotest.test_case "model cache key" `Quick test_model_key;
         ] );
       ( "protocol",
@@ -441,6 +561,10 @@ let () =
             test_daemon_overload;
           Alcotest.test_case "portfolio jobs stay live under supervision"
             `Quick test_daemon_portfolio_liveness;
+          Alcotest.test_case "scratch managers reused without leakage" `Quick
+            test_daemon_manager_reuse;
+          Alcotest.test_case "batch job end to end" `Quick
+            test_daemon_batch_job;
           Alcotest.test_case "crash, respawn, resume" `Quick
             test_daemon_crash_resume;
         ] );
