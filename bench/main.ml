@@ -850,7 +850,8 @@ let bench_daemon _budgets ~domains ~quick =
       f
   in
   (* One synthetic client: submit [lines], block until every submitted
-     id is resolved (result or rejection), count both. *)
+     id is resolved (result or rejection), count both and collect the
+     daemon-reported queue_s/e2e_s latencies off each result. *)
   let run_client sock lines =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     Unix.connect fd (Unix.ADDR_UNIX sock);
@@ -867,6 +868,7 @@ let bench_daemon _budgets ~domains ~quick =
       lines;
     flush oc;
     let resolved = ref 0 and rejected = ref 0 in
+    let queue_s = ref [] and e2e_s = ref [] in
     (try
        while Hashtbl.length pending > 0 do
          let line = input_line ic in
@@ -876,6 +878,14 @@ let bench_daemon _budgets ~domains ~quick =
          match (typ, id) with
          | Some "result", Some id ->
            incr resolved;
+           (match Option.bind (Obs.Json.member "queue_s" json) Obs.Json.to_float
+            with
+           | Some q -> queue_s := q :: !queue_s
+           | None -> ());
+           (match Option.bind (Obs.Json.member "e2e_s" json) Obs.Json.to_float
+            with
+           | Some e -> e2e_s := e :: !e2e_s
+           | None -> ());
            Hashtbl.remove pending id
          | Some "rejected", Some id ->
            incr rejected;
@@ -884,7 +894,28 @@ let bench_daemon _budgets ~domains ~quick =
        done
      with End_of_file -> ());
     (try Unix.close fd with Unix.Unix_error _ -> ());
-    (!resolved, !rejected)
+    (!resolved, !rejected, !queue_s, !e2e_s)
+  in
+  (* Nearest-rank percentile over exact samples (these are the raw
+     per-result latencies, not the daemon's log2-bucketed histograms,
+     so the bench rows carry full precision for regression gating). *)
+  let percentile samples q =
+    match List.sort compare samples with
+    | [] -> 0.0
+    | sorted ->
+      let n = List.length sorted in
+      let rank =
+        int_of_float (ceil (q *. float_of_int n)) |> max 1 |> min n
+      in
+      List.nth sorted (rank - 1)
+  in
+  let latency_fields queue_s e2e_s =
+    [
+      ("queue_p50_s", Obs.Json.Float (percentile queue_s 0.50));
+      ("queue_p99_s", Obs.Json.Float (percentile queue_s 0.99));
+      ("e2e_p50_s", Obs.Json.Float (percentile e2e_s 0.50));
+      ("e2e_p99_s", Obs.Json.Float (percentile e2e_s 0.99));
+    ]
   in
   let job id family extra =
     Printf.sprintf "{\"id\":%S,\"model\":{\"family\":%S%s},\"method\":\"xici\"}"
@@ -919,24 +950,30 @@ let bench_daemon _budgets ~domains ~quick =
         in
         let results = List.map Domain.join doms in
         let wall = Unix.gettimeofday () -. t0 in
-        let resolved = List.fold_left (fun a (r, _) -> a + r) 0 results in
-        let rejected = List.fold_left (fun a (_, r) -> a + r) 0 results in
+        let resolved = List.fold_left (fun a (r, _, _, _) -> a + r) 0 results in
+        let rejected = List.fold_left (fun a (_, r, _, _) -> a + r) 0 results in
+        let queue_s = List.concat_map (fun (_, _, q, _) -> q) results in
+        let e2e_s = List.concat_map (fun (_, _, _, e) -> e) results in
         let jps = if wall > 0.0 then float_of_int resolved /. wall else 0.0 in
         Format.printf
           "  %d clients x %d jobs on %d workers: %d resolved, %d rejected, \
-           %.2fs wall, %.1f jobs/s@.%!"
-          clients per_client (max 2 domains) resolved rejected wall jps;
+           %.2fs wall, %.1f jobs/s@.  queue p50/p99 %.3fs/%.3fs, e2e p50/p99 \
+           %.3fs/%.3fs@.%!"
+          clients per_client (max 2 domains) resolved rejected wall jps
+          (percentile queue_s 0.50) (percentile queue_s 0.99)
+          (percentile e2e_s 0.50) (percentile e2e_s 0.99);
         Obs.Json.Obj
-          [
-            ("scenario", Obs.Json.String "throughput");
-            ("clients", Obs.Json.Int clients);
-            ("jobs_per_client", Obs.Json.Int per_client);
-            ("workers", Obs.Json.Int (max 2 domains));
-            ("resolved", Obs.Json.Int resolved);
-            ("rejected", Obs.Json.Int rejected);
-            ("wall_seconds", Obs.Json.Float wall);
-            ("jobs_per_s", Obs.Json.Float jps);
-          ])
+          ([
+             ("scenario", Obs.Json.String "throughput");
+             ("clients", Obs.Json.Int clients);
+             ("jobs_per_client", Obs.Json.Int per_client);
+             ("workers", Obs.Json.Int (max 2 domains));
+             ("resolved", Obs.Json.Int resolved);
+             ("rejected", Obs.Json.Int rejected);
+             ("wall_seconds", Obs.Json.Float wall);
+             ("jobs_per_s", Obs.Json.Float jps);
+           ]
+          @ latency_fields queue_s e2e_s))
   in
   (* Overload row: one worker, a queue of 4 and a burst of slow jobs;
      the surplus must come back as explicit rejections. *)
@@ -962,22 +999,23 @@ let bench_daemon _budgets ~domains ~quick =
                 (if quick then ",\"depth\":4" else ",\"depth\":8"))
         in
         let t0 = Unix.gettimeofday () in
-        let resolved, rejected = run_client sock2 lines in
+        let resolved, rejected, queue_s, e2e_s = run_client sock2 lines in
         let wall = Unix.gettimeofday () -. t0 in
         Format.printf
           "  overload burst of %d on 1 worker (queue 4): %d resolved, %d \
            rejected explicitly, %.2fs wall@.%!"
           burst resolved rejected wall;
         Obs.Json.Obj
-          [
-            ("scenario", Obs.Json.String "overload");
-            ("burst", Obs.Json.Int burst);
-            ("workers", Obs.Json.Int 1);
-            ("queue_capacity", Obs.Json.Int 4);
-            ("resolved", Obs.Json.Int resolved);
-            ("rejected", Obs.Json.Int rejected);
-            ("wall_seconds", Obs.Json.Float wall);
-          ])
+          ([
+             ("scenario", Obs.Json.String "overload");
+             ("burst", Obs.Json.Int burst);
+             ("workers", Obs.Json.Int 1);
+             ("queue_capacity", Obs.Json.Int 4);
+             ("resolved", Obs.Json.Int resolved);
+             ("rejected", Obs.Json.Int rejected);
+             ("wall_seconds", Obs.Json.Float wall);
+           ]
+          @ latency_fields queue_s e2e_s))
   in
   if !json_mode then json_rows := [ overload_row; throughput_row ];
   (try Unix.rmdir dir with Unix.Unix_error _ | Sys_error _ -> ())

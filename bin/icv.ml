@@ -257,6 +257,251 @@ let run model_name depth width procs regs bound assisted bug meth_name trace
     Format.eprintf "icv: %s@." msg;
     exit 2
 
+(* --- explain: slow-job post-mortem from a daemon trace file ----------- *)
+
+(* Rebuild the span tree of a per-job JSONL trace (icvd jobs submitted
+   with "trace": true) from timestamp containment: spans are emitted at
+   close, so the file order is children-first, but (ts ascending, dur
+   descending) puts every parent before its children and a stack walk
+   recovers the nesting.  Domains are kept separate — a portfolio
+   child's spans root under their own domain — and a retried job's
+   attempts share the file and the timeline, so each attempt's phases
+   form their own roots. *)
+
+type espan = {
+  e_name : string;
+  e_dom : int;
+  e_ts : float;  (* us, relative to the job's admission *)
+  e_dur : float;
+  e_args : (string * Obs.Json.t) list;
+  mutable e_children : espan list;  (* built newest-first, reversed later *)
+  mutable e_self : float;
+}
+
+let parse_trace_spans path =
+  let ic = open_in path in
+  let spans = ref [] in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      try
+        while true do
+          let line = input_line ic in
+          if String.trim line <> "" then
+            match Obs.Json.of_string line with
+            | exception Obs.Json.Parse_error why ->
+              failwith (Printf.sprintf "%s: bad trace line: %s" path why)
+            | j when
+                Option.bind (Obs.Json.member "type" j) Obs.Json.to_str
+                = Some "span" ->
+              let str f = Option.bind (Obs.Json.member f j) Obs.Json.to_str in
+              let num f =
+                Option.value ~default:0.0
+                  (Option.bind (Obs.Json.member f j) Obs.Json.to_float)
+              in
+              let args =
+                match Obs.Json.member "args" j with
+                | Some (Obs.Json.Obj kvs) -> kvs
+                | _ -> []
+              in
+              spans :=
+                {
+                  e_name = Option.value ~default:"?" (str "name");
+                  e_dom =
+                    Option.value ~default:0
+                      (Option.bind (Obs.Json.member "dom" j) Obs.Json.to_int);
+                  e_ts = num "ts_us";
+                  e_dur = num "dur_us";
+                  e_args = args;
+                  e_children = [];
+                  e_self = 0.0;
+                }
+                :: !spans
+            | _ -> ()
+        done
+      with End_of_file -> ());
+  List.rev !spans
+
+let build_forest spans =
+  let doms = List.sort_uniq compare (List.map (fun s -> s.e_dom) spans) in
+  let forest = ref [] in
+  List.iter
+    (fun dom ->
+      let mine = List.filter (fun s -> s.e_dom = dom) spans in
+      let ordered =
+        List.sort
+          (fun a b ->
+            match compare a.e_ts b.e_ts with
+            | 0 -> compare b.e_dur a.e_dur
+            | c -> c)
+          mine
+      in
+      (* 1us of float fuzz: a child closing on its parent's boundary
+         must still nest. *)
+      let contains p s =
+        s.e_ts >= p.e_ts -. 1.0 && s.e_ts +. s.e_dur <= p.e_ts +. p.e_dur +. 1.0
+      in
+      let stack = ref [] in
+      List.iter
+        (fun s ->
+          while !stack <> [] && not (contains (List.hd !stack) s) do
+            stack := List.tl !stack
+          done;
+          (match !stack with
+          | p :: _ -> p.e_children <- s :: p.e_children
+          | [] -> forest := s :: !forest);
+          stack := s :: !stack)
+        ordered)
+    doms;
+  let rec finish s =
+    s.e_children <- List.rev s.e_children;
+    List.iter finish s.e_children;
+    s.e_self <-
+      Float.max 0.0
+        (s.e_dur
+        -. List.fold_left (fun acc c -> acc +. c.e_dur) 0.0 s.e_children)
+  in
+  let roots =
+    List.sort
+      (fun a b ->
+        match compare a.e_dom b.e_dom with
+        | 0 -> compare a.e_ts b.e_ts
+        | c -> c)
+      !forest
+  in
+  List.iter finish roots;
+  roots
+
+let human_count n =
+  if n >= 1_000_000 then Printf.sprintf "%.1fM" (float_of_int n /. 1e6)
+  else if n >= 1_000 then Printf.sprintf "%.1fk" (float_of_int n /. 1e3)
+  else string_of_int n
+
+(* Render the forest with same-named siblings merged (a fixpoint trace
+   has one xici.iteration span per iteration; the tree view wants one
+   line saying "×12", not twelve lines), self-time per line, and
+   percentages against the whole trace. *)
+let render_forest roots ~total =
+  let buf = Buffer.create 4096 in
+  let pct v = if total <= 0.0 then 0.0 else 100.0 *. v /. total in
+  let rec render indent nodes =
+    (* group same-named siblings, preserving first-appearance order *)
+    let order = ref [] in
+    let groups : (string, espan list ref) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun s ->
+        match Hashtbl.find_opt groups s.e_name with
+        | Some g -> g := s :: !g
+        | None ->
+          Hashtbl.add groups s.e_name (ref [ s ]);
+          order := s.e_name :: !order)
+      nodes;
+    List.iter
+      (fun name ->
+        let group = List.rev !(Hashtbl.find groups name) in
+        let n = List.length group in
+        let dur = List.fold_left (fun a s -> a +. s.e_dur) 0.0 group in
+        let self = List.fold_left (fun a s -> a +. s.e_self) 0.0 group in
+        let label = if n > 1 then Printf.sprintf "%s ×%d" name n else name in
+        Buffer.add_string buf
+          (Printf.sprintf "%s%-*s %9.1fms  self %9.1fms  %5.1f%%\n"
+             (String.make indent ' ')
+             (max 1 (34 - indent))
+             label (dur /. 1e3) (self /. 1e3) (pct self));
+        render (indent + 2) (List.concat_map (fun s -> s.e_children) group))
+      (List.rev !order)
+  in
+  render 2 roots;
+  Buffer.contents buf
+
+(* The dominant phase: the span name with the largest aggregate
+   self-time, located at its single heaviest occurrence — "83% in
+   back_image at iteration 12, live nodes 9.1M" is the line that tells
+   you where a slow job went. *)
+let dominant_phase roots ~total =
+  let agg : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let rec walk s =
+    Hashtbl.replace agg s.e_name
+      (Option.value ~default:0.0 (Hashtbl.find_opt agg s.e_name) +. s.e_self);
+    List.iter walk s.e_children
+  in
+  List.iter walk roots;
+  let best =
+    Hashtbl.fold
+      (fun name self acc ->
+        match acc with
+        | Some (_, s) when s >= self -> acc
+        | _ -> Some (name, self))
+      agg None
+  in
+  match best with
+  | None -> "empty trace"
+  | Some (name, self) ->
+    (* heaviest single occurrence, with its enclosing iteration context *)
+    let heaviest = ref None in
+    let rec locate iter_ctx s =
+      let iter_ctx =
+        if s.e_name = "xici.iteration" then Some s.e_args else iter_ctx
+      in
+      (if s.e_name = name then
+         match !heaviest with
+         | Some (h, _) when h.e_self >= s.e_self -> ()
+         | _ -> heaviest := Some (s, iter_ctx));
+      List.iter (locate iter_ctx) s.e_children
+    in
+    List.iter (locate None) roots;
+    let where =
+      match !heaviest with
+      | Some (_, Some args) ->
+        let iter =
+          Option.bind (List.assoc_opt "iteration" args) Obs.Json.to_int
+        in
+        let live =
+          Option.bind (List.assoc_opt "live_nodes" args) Obs.Json.to_int
+        in
+        (match (iter, live) with
+        | Some i, Some l ->
+          Printf.sprintf " at iteration %d, live nodes %s" i (human_count l)
+        | Some i, None -> Printf.sprintf " at iteration %d" i
+        | _ -> "")
+      | _ -> ""
+    in
+    let p = if total <= 0.0 then 0.0 else 100.0 *. self /. total in
+    Printf.sprintf "%.0f%% in %s%s" p name where
+
+let run_explain path =
+  let spans = parse_trace_spans path in
+  if spans = [] then begin
+    Format.eprintf "icv: %s contains no spans@." path;
+    exit 2
+  end;
+  let roots = build_forest spans in
+  let total = List.fold_left (fun a s -> a +. s.e_dur) 0.0 roots in
+  let arg_of f s = Option.bind (List.assoc_opt f s.e_args) Obs.Json.to_str in
+  let first_some f =
+    List.find_map f spans
+  in
+  let trace_id = Option.value ~default:"?" (first_some (arg_of "trace_id")) in
+  let job = Option.value ~default:"?" (first_some (arg_of "job")) in
+  let attempts =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun s -> Option.bind (List.assoc_opt "attempt" s.e_args) Obs.Json.to_int)
+         spans)
+  in
+  Format.printf "trace %s: job %s, trace id %s, %d span(s), %d attempt(s), %.1fms total@."
+    (Filename.basename path) job trace_id (List.length spans)
+    (max 1 (List.length attempts))
+    (total /. 1e3);
+  print_string (render_forest roots ~total);
+  Format.printf "dominant phase: %s@." (dominant_phase roots ~total)
+
+let run_explain_checked path =
+  try run_explain path with
+  | Failure msg | Sys_error msg ->
+    Format.eprintf "icv: %s@." msg;
+    exit 2
+
 let () =
   let model =
     Arg.(
@@ -447,15 +692,38 @@ let () =
       value & flag
       & info [ "verbose"; "v" ] ~doc:"Per-iteration debug logging.")
   in
-  let cmd =
+  let verify_term =
+    Term.(
+      const run $ model $ depth $ width $ procs $ regs $ bound $ assisted
+      $ bug $ meth $ trace $ max_seconds $ max_live $ grow $ parallel
+      $ batch $ props $ speculate $ portfolio $ resilient
+      $ retries $ budget_escalation $ max_created $ checkpoint
+      $ checkpoint_every $ resume $ fallback $ stats $ trace_out
+      $ trace_format $ verbose)
+  in
+  let explain_cmd =
+    (* a plain string, not Arg.file: a missing path must follow the
+       icv error contract (one "icv: ..." line, exit 2) instead of
+       cmdliner's usage dump *)
+    let file =
+      Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"TRACE"
+            ~doc:
+              "A per-job JSONL span file written by icvd for a job \
+               submitted with \"trace\": true.")
+    in
     Cmd.v
+      (Cmd.info "explain"
+         ~doc:
+           "Render a daemon job trace as a span tree with self-times and \
+            name the dominant phase (the slow-job post-mortem).")
+      Term.(const run_explain_checked $ file)
+  in
+  let cmd =
+    Cmd.group ~default:verify_term
       (Cmd.info "icv" ~doc:"Verify the paper's example models")
-      Term.(
-        const run $ model $ depth $ width $ procs $ regs $ bound $ assisted
-        $ bug $ meth $ trace $ max_seconds $ max_live $ grow $ parallel
-        $ batch $ props $ speculate $ portfolio $ resilient
-        $ retries $ budget_escalation $ max_created $ checkpoint
-        $ checkpoint_every $ resume $ fallback $ stats $ trace_out
-        $ trace_format $ verbose)
+      [ explain_cmd ]
   in
   exit (Cmd.eval cmd)

@@ -131,15 +131,86 @@ let run_client socket jobs_file timeout =
   (try Unix.close fd with _ -> ());
   exit rc
 
+(* --- introspection client --------------------------------------------- *)
+
+(* One-shot or streaming query against a running daemon: stats (JSON or
+   Prometheus text), health, ping, or a metrics watch stream.  The prom
+   format unwraps the exposition text from its JSON envelope so the
+   output is directly scrapeable:
+     icvd --connect SOCK --client stats --format prom  *)
+let run_query socket cmd format interval timeout =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  let out = Unix.out_channel_of_descr fd in
+  let ic = Unix.in_channel_of_descr fd in
+  let req =
+    match cmd with
+    | `Stats when format = `Prom -> {|{"type":"stats","format":"prom"}|}
+    | `Stats -> {|{"type":"stats"}|}
+    | `Health -> {|{"type":"health"}|}
+    | `Ping -> {|{"type":"ping"}|}
+    | `Watch -> Printf.sprintf {|{"type":"watch","interval_s":%g}|} interval
+  in
+  output_string out (req ^ "\n");
+  flush out;
+  let print_event line =
+    match (cmd, format) with
+    | `Stats, `Prom -> (
+      match Obs.Json.of_string line with
+      | exception Obs.Json.Parse_error _ -> print_endline line
+      | json -> (
+        match Option.bind (Obs.Json.member "prom" json) Obs.Json.to_str with
+        | Some text -> print_string text
+        | None -> print_endline line))
+    | _ -> print_endline line
+  in
+  let rc =
+    match cmd with
+    | `Watch ->
+      (* Stream frames until the daemon closes or the timeout ends the
+         session; each frame is one JSON line on stdout. *)
+      let deadline = Unix.gettimeofday () +. timeout in
+      let rec go () =
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining <= 0.0 then 0
+        else
+          match Unix.select [ fd ] [] [] (Float.min remaining 1.0) with
+          | [], _, _ -> go ()
+          | _ -> (
+            match input_line ic with
+            | line ->
+              print_event line;
+              flush stdout;
+              go ()
+            | exception End_of_file -> 0)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      in
+      go ()
+    | _ -> (
+      match input_line ic with
+      | line ->
+        print_event line;
+        0
+      | exception End_of_file ->
+        Format.eprintf "icvd: daemon closed the connection without replying@.";
+        1)
+  in
+  (try Unix.close fd with _ -> ());
+  exit rc
+
 (* --- entry point ------------------------------------------------------ *)
 
-let run connect socket stdio workers queue_capacity checkpoint_dir deadline
-    hang_timeout max_total_live max_attempts portfolio_domains jobs_file
-    client_timeout verbose =
+let run connect socket stdio workers queue_capacity checkpoint_dir trace_dir
+    deadline hang_timeout max_total_live max_attempts portfolio_domains
+    jobs_file client_timeout client_cmd format interval verbose =
   setup_logs verbose;
-  match connect with
-  | Some sock -> run_client sock jobs_file client_timeout
-  | None ->
+  match (connect, client_cmd) with
+  | Some sock, Some cmd -> run_query sock cmd format interval client_timeout
+  | None, Some _ ->
+    Format.eprintf "icvd: --client requires --connect SOCK@.";
+    exit 2
+  | Some sock, None -> run_client sock jobs_file client_timeout
+  | None, None ->
     if socket = None && not stdio then begin
       Format.eprintf "icvd: nothing to serve; pass --socket PATH or --stdio@.";
       exit 2
@@ -152,6 +223,7 @@ let run connect socket stdio workers queue_capacity checkpoint_dir deadline
         workers;
         queue_capacity;
         checkpoint_dir;
+        trace_dir;
         default_deadline_s = deadline;
         hang_timeout_s = hang_timeout;
         max_total_live;
@@ -209,6 +281,15 @@ let () =
             "Write per-job XICI checkpoints under $(docv) so retried jobs \
              resume instead of restarting.")
   in
+  let trace_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write per-job span-tree JSONL files for jobs submitted with \
+             \"trace\": true under $(docv) (default: the checkpoint dir, \
+             else the system temp dir).  Render one with icv explain.")
+  in
   let deadline =
     Arg.(
       value & opt (some float) None
@@ -256,6 +337,37 @@ let () =
       & info [ "client-timeout" ] ~docv:"SECONDS"
           ~doc:"Client mode: give up if jobs are still unresolved.")
   in
+  let client_cmd =
+    let kinds =
+      [
+        ("stats", `Stats); ("health", `Health); ("watch", `Watch);
+        ("ping", `Ping);
+      ]
+    in
+    Arg.(
+      value & opt (some (enum kinds)) None
+      & info [ "client" ] ~docv:"CMD"
+          ~doc:
+            "With --connect: query the daemon instead of submitting jobs. \
+             $(docv) is one of stats (registry snapshot; see --format), \
+             health (queue depth, inflight, per-worker liveness, memory \
+             pressure, uptime), watch (stream metric deltas until \
+             --client-timeout), or ping.")
+  in
+  let format =
+    Arg.(
+      value & opt (enum [ ("json", `Json); ("prom", `Prom) ]) `Json
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format for --client stats: json (one event line) or \
+             prom (Prometheus text exposition, directly scrapeable).")
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Frame interval for --client watch.")
+  in
   let verbose =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logging.")
   in
@@ -264,8 +376,8 @@ let () =
       (Cmd.info "icvd" ~doc:"Resident verification daemon")
       Term.(
         const run $ connect $ socket $ stdio $ workers $ queue_capacity
-        $ checkpoint_dir $ deadline $ hang_timeout $ max_total_live
-        $ max_attempts $ portfolio_domains $ jobs_file $ client_timeout
-        $ verbose)
+        $ checkpoint_dir $ trace_dir $ deadline $ hang_timeout
+        $ max_total_live $ max_attempts $ portfolio_domains $ jobs_file
+        $ client_timeout $ client_cmd $ format $ interval $ verbose)
   in
   exit (Cmd.eval cmd)

@@ -342,8 +342,18 @@ let run ?limits ?(meth = Runner.Xici) ?xici_cfg ?termination ?var_choice
       run_seq ?limits ~meth ?xici_cfg ?termination ?var_choice ~speculate
         local subset
     in
+    (* Re-install the spawning domain's tracer and ambient attributes
+       (domain-local state) so batch-worker spans keep their job's
+       trace id — see the matching note in Parallel.portfolio. *)
+    let tracer = Obs.Tracer.global () in
+    let span_attrs = Obs.Tracer.current_attrs () in
     let doms =
-      Array.map (fun b -> Domain.spawn (work (List.rev b))) buckets
+      Array.map
+        (fun b ->
+          Domain.spawn (fun () ->
+              Obs.Tracer.with_global tracer (fun () ->
+                  Obs.Tracer.with_attrs span_attrs (work (List.rev b)))))
+        buckets
     in
     let parts = Array.to_list (Array.map Domain.join doms) in
     let items =

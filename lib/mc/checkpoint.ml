@@ -97,10 +97,18 @@ let write oc cp =
 
 let save man path cp =
   ignore man;
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc cp);
-  Sys.rename tmp path
+  Obs.Tracer.with_span (Obs.Tracer.global ()) ~cat:"mc"
+    ~args:(fun () ->
+      [
+        ("iteration", Obs.Json.Int cp.iterations);
+        ("conjuncts", Obs.Json.Int (List.length cp.current));
+      ])
+    "checkpoint.save"
+    (fun () ->
+      let tmp = path ^ ".tmp" in
+      let oc = open_out tmp in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc cp);
+      Sys.rename tmp path)
 
 (* --- reading -------------------------------------------------------- *)
 

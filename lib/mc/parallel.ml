@@ -302,6 +302,11 @@ let portfolio ?(domains = 2) ?(configs = default_portfolio) ?limits
   let winner = Atomic.make (-1) in
   let results : Report.t option array = Array.make n None in
   let tracer = Obs.Tracer.global () in
+  (* Tracer override and ambient attributes (e.g. a job's trace id) are
+     domain-local, so child domains must re-install both — otherwise a
+     supervised job's per-config spans would land on the process-wide
+     tracer instead of the job's own trace. *)
+  let span_attrs = Obs.Tracer.current_attrs () in
   let model_name = model.Model.name in
   (* An exception escaping one config -- a raising user hook, a thaw
      failure, an allocation blowup -- must lose that config, not tear
@@ -412,7 +417,12 @@ let portfolio ?(domains = 2) ?(configs = default_portfolio) ?limits
   let k = min domains n in
   let spawned =
     List.init k (fun _ ->
-        Domain.spawn (fun () -> try Ok (worker ()) with e -> Error e))
+        Domain.spawn (fun () ->
+            try
+              Ok
+                (Obs.Tracer.with_global tracer (fun () ->
+                     Obs.Tracer.with_attrs span_attrs worker))
+            with e -> Error e))
   in
   join_all spawned;
   let reports = ref [] in

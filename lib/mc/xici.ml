@@ -154,9 +154,13 @@ let run_full ?(limits = fun man -> Limits.unlimited man) ?cfg ?termination
         match
           Obs.Tracer.with_span tracer ~cat:"mc"
             ~args:(fun () ->
+              (* Evaluated at span close, so live_nodes reflects the
+                 manager after the step — the number a post-mortem
+                 wants when attributing a blowup to an iteration. *)
               [
                 ("iteration", Obs.Json.Int i);
                 ("conjuncts", Obs.Json.Int (Ici.Clist.length l));
+                ("live_nodes", Obs.Json.Int (Bdd.live_nodes man));
               ])
             "xici.iteration"
             (fun () -> step l gs)

@@ -141,6 +141,53 @@ let histogram_buckets_unlocked h =
 
 let histogram_buckets h = locked h.h_mu (fun () -> histogram_buckets_unlocked h)
 
+(* Count, sum, max and buckets read under one lock acquisition.
+   Composing the individual accessors instead (count, then sum) can
+   interleave with a concurrent [reset] or [observe] and return a torn
+   pair -- e.g. the old count with the new sum -- which breaks any
+   invariant checking sum against count.  Renderers must use this. *)
+let histogram_stats h =
+  locked h.h_mu (fun () ->
+      (h.h_count, h.sum, h.max, histogram_buckets_unlocked h))
+
+(* Percentile estimate from the log2 buckets: walk to the bucket
+   containing the q-th sample and interpolate linearly within its
+   [2^(i-1), 2^i) range.  Error is bounded by the bucket width (a
+   factor of 2), which is plenty for latency triage; the top bucket is
+   clamped to the observed max so p99 of a skewed histogram cannot
+   exceed any real sample. *)
+let histogram_percentile h q =
+  let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+  locked h.h_mu (fun () ->
+      if h.h_count = 0 then 0.0
+      else begin
+        let target = Float.max 1.0 (q *. float_of_int h.h_count) in
+        let cum = ref 0.0 in
+        let res = ref (float_of_int h.max) in
+        (try
+           for i = 0 to Array.length h.buckets - 1 do
+             let n = h.buckets.(i) in
+             if n > 0 then begin
+               let prev = !cum in
+               cum := prev +. float_of_int n;
+               if !cum >= target then begin
+                 let lower =
+                   if i = 0 then 0.0 else float_of_int (1 lsl (i - 1))
+                 in
+                 let upper =
+                   if i = 0 then 0.0
+                   else Float.min (float_of_int (1 lsl i)) (float_of_int h.max)
+                 in
+                 let frac = (target -. prev) /. float_of_int n in
+                 res := lower +. ((upper -. lower) *. frac);
+                 raise Exit
+               end
+             end
+           done
+         with Exit -> ());
+        !res
+      end)
+
 let reset reg =
   locked reg.mu (fun () ->
       Hashtbl.iter (fun _ c -> Atomic.set c.count 0) reg.counters;

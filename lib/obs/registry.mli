@@ -53,6 +53,17 @@ val histogram_mean : histogram -> float
 val histogram_buckets : histogram -> (int * int) list
 (** Nonzero [(bucket_upper_bound, count)] pairs, ascending. *)
 
+val histogram_stats : histogram -> int * int * int * (int * int) list
+(** [(count, sum, max, buckets)] read under a single lock acquisition —
+    the only way to get a consistent view against concurrent [observe]
+    or [reset]; composing the individual accessors can tear. *)
+
+val histogram_percentile : histogram -> float -> float
+(** [histogram_percentile h q] estimates the [q]-quantile (0..1) by
+    linear interpolation within the log2 bucket holding the q-th
+    sample; the top bucket is clamped to the observed max.  Error is
+    bounded by the bucket width.  0.0 on an empty histogram. *)
+
 (** {2 Snapshots} *)
 
 type entry =

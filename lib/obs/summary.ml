@@ -88,3 +88,54 @@ let print ?max_rows reg rows =
   pp ?max_rows ppf reg;
   pp_iterations ppf rows;
   Format.pp_print_flush ppf ()
+
+(* --- Prometheus text exposition -------------------------------------- *)
+
+(* Metric names allow [a-zA-Z0-9_:]; dots and dashes become
+   underscores.  Everything is prefixed "icv_" to namespace the scrape. *)
+let prom_name name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      let ok =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9') || c = '_'
+      in
+      if not ok then Bytes.set b i '_')
+    b;
+  "icv_" ^ Bytes.to_string b
+
+let prom_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let to_prometheus reg =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s;
+                                   Buffer.add_char buf '\n') fmt in
+  List.iter
+    (function
+      | Registry.Counter (name, n) ->
+        let pn = prom_name name in
+        line "# TYPE %s counter" pn;
+        line "%s %d" pn n
+      | Registry.Gauge (name, v) ->
+        let pn = prom_name name in
+        line "# TYPE %s gauge" pn;
+        line "%s %s" pn (prom_float v)
+      | Registry.Histogram (name, count, sum, _max, buckets) ->
+        let pn = prom_name name in
+        line "# TYPE %s histogram" pn;
+        (* Prometheus buckets are cumulative; ours are per-bucket
+           counts with only nonzero buckets listed, so accumulate. *)
+        let cum = ref 0 in
+        List.iter
+          (fun (upper, n) ->
+            cum := !cum + n;
+            line "%s_bucket{le=\"%d\"} %d" pn upper !cum)
+          buckets;
+        line "%s_bucket{le=\"+Inf\"} %d" pn count;
+        line "%s_sum %d" pn sum;
+        line "%s_count %d" pn count)
+    (Registry.snapshot reg);
+  Buffer.contents buf

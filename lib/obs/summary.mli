@@ -10,3 +10,10 @@ val pp_iterations : Format.formatter -> Iterlog.row list -> unit
 
 val print : ?max_rows:int -> Registry.t -> Iterlog.row list -> unit
 (** Both tables to stdout. *)
+
+val to_prometheus : Registry.t -> string
+(** Render the whole registry in Prometheus text exposition format:
+    every metric gets a [# TYPE] line; names are sanitised
+    ([a-zA-Z0-9_] only, dots become underscores) and prefixed [icv_];
+    histograms emit cumulative [_bucket{le="…"}] series (log2 upper
+    bounds) plus [_sum] and [_count].  Reads one consistent snapshot. *)

@@ -39,7 +39,15 @@ type sink = {
    before domains are spawned). *)
 type t = { mutable sinks : sink list; epoch_ns : int64; mu : Mutex.t }
 
-let create () = { sinks = []; epoch_ns = Clock.now_ns (); mu = Mutex.create () }
+(* [epoch_ns] lets several tracers share one timeline: the daemon's
+   per-job trace files are appended to across retry attempts, each
+   attempt with a fresh tracer, and a shared epoch (the job's admission
+   time) keeps timestamps monotonic across the whole file. *)
+let create ?epoch_ns () =
+  let epoch_ns =
+    match epoch_ns with Some e -> e | None -> Clock.now_ns ()
+  in
+  { sinks = []; epoch_ns; mu = Mutex.create () }
 
 let self_dom () = (Domain.self () :> int)
 
@@ -73,11 +81,41 @@ let with_global t f =
   Domain.DLS.set override (Some t);
   Fun.protect ~finally:(fun () -> Domain.DLS.set override saved) f
 
+(* Ambient attributes: a domain-local key/value context appended to
+   every span and instant emitted while the scope is active.  This is
+   how a correlation id set once at job dispatch reaches spans emitted
+   deep inside the fixpoint loops without threading a parameter through
+   every layer.  Like [override] it is domain-local, so child domains
+   must re-install it (see Mc.Parallel / Mc.Batch). *)
+let ambient : (string * Json.t) list Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> [])
+
+let current_attrs () = Domain.DLS.get ambient
+
+let with_attrs attrs f =
+  let saved = Domain.DLS.get ambient in
+  Domain.DLS.set ambient (saved @ attrs);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient saved) f
+
 let no_args () = []
 
+(* Explicit args first: Json.member returns the first match, so a span
+   can shadow an ambient key. *)
+let merged_args args =
+  match Domain.DLS.get ambient with [] -> args () | amb -> args () @ amb
+
 let emit_span t ~name ~cat ~args ~ts_ns ~dur_ns =
-  let span = { name; cat; dom = self_dom (); ts_ns; dur_ns; args = args () } in
+  let span =
+    { name; cat; dom = self_dom (); ts_ns; dur_ns; args = merged_args args }
+  in
   locked t (fun () -> List.iter (fun s -> s.on_span span) t.sinks)
+
+(* Report a region that was timed externally (e.g. a job's queue wait,
+   measured between two threads of control).  [ts_ns] is on the same
+   monotonic clock as [Clock.now_ns], so the span lands at the right
+   place on the timeline relative to live spans. *)
+let span_at t ?(cat = "icv") ?(args = no_args) name ~ts_ns ~dur_ns =
+  if t.sinks != [] then emit_span t ~name ~cat ~args ~ts_ns ~dur_ns
 
 let with_span t ?(cat = "icv") ?(args = no_args) name f =
   if t.sinks == [] then f ()
@@ -100,7 +138,7 @@ let instant t ?(cat = "icv") ?(args = no_args) name =
         i_cat = cat;
         i_dom = self_dom ();
         i_ts_ns = Clock.now_ns ();
-        i_args = args ();
+        i_args = merged_args args;
       }
     in
     locked t (fun () -> List.iter (fun s -> s.on_instant ev) t.sinks)
@@ -169,22 +207,45 @@ let chrome_sink t oc =
       output_string oc (Json.to_string (Json.Obj fields))
     end
   in
-  (* The originating domain becomes the trace thread id, so Perfetto
-     lays parallel workers out as separate tracks. *)
-  let common name cat dom ts_ns =
+  (* By default the originating domain becomes the trace thread id, so
+     Perfetto lays parallel workers out as separate tracks.  Events
+     carrying a "job" attribute (set ambiently by the daemon's worker
+     pool) instead get a per-job track: every span of one job lines up
+     on one named row even when retries land on different domains. *)
+  let job_tids : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let tid_of args dom =
+    match List.assoc_opt "job" args with
+    | Some (Json.String j) ->
+        (match Hashtbl.find_opt job_tids j with
+        | Some tid -> tid
+        | None ->
+            let tid = 1000 + Hashtbl.length job_tids in
+            Hashtbl.add job_tids j tid;
+            event
+              [
+                ("name", Json.String "thread_name");
+                ("ph", Json.String "M");
+                ("pid", Json.Int 1);
+                ("tid", Json.Int tid);
+                ("args", Json.Obj [ ("name", Json.String ("job " ^ j)) ]);
+              ];
+            tid)
+    | _ -> dom
+  in
+  let common name cat tid ts_ns =
     [
       ("name", Json.String name);
       ("cat", Json.String cat);
       ("ts", Json.Float (rel_us t.epoch_ns ts_ns));
       ("pid", Json.Int 1);
-      ("tid", Json.Int dom);
+      ("tid", Json.Int tid);
     ]
   in
   {
     on_span =
       (fun s ->
         event
-          (common s.name s.cat s.dom s.ts_ns
+          (common s.name s.cat (tid_of s.args s.dom) s.ts_ns
           @ [
               ("ph", Json.String "X");
               ("dur", Json.Float (Int64.to_float s.dur_ns /. 1e3));
@@ -193,7 +254,7 @@ let chrome_sink t oc =
     on_instant =
       (fun i ->
         event
-          (common i.i_name i.i_cat i.i_dom i.i_ts_ns
+          (common i.i_name i.i_cat (tid_of i.i_args i.i_dom) i.i_ts_ns
           @ [ ("ph", Json.String "i"); ("s", Json.String "t") ]
           @ args_json i.i_args));
     flush =

@@ -35,8 +35,11 @@ type sink = {
   flush : unit -> unit;
 }
 
-val create : unit -> t
-(** A fresh tracer; its epoch (timestamp zero for sinks) is now. *)
+val create : ?epoch_ns:int64 -> unit -> t
+(** A fresh tracer; its epoch (timestamp zero for sinks) is now unless
+    [epoch_ns] pins it — pass the same epoch to successive tracers
+    appending to one trace file (e.g. a job's retry attempts) so their
+    timestamps share a timeline. *)
 
 val disabled : t
 (** The shared sinkless tracer; [with_span disabled _ f] is just [f ()]. *)
@@ -60,12 +63,29 @@ val with_global : t -> (unit -> 'a) -> 'a
     unlike [set_global] it cannot redirect other domains' spans or
     leave them pointing at a tracer whose sink channel was closed. *)
 
+val with_attrs : (string * Json.t) list -> (unit -> 'a) -> 'a
+(** Run the thunk with extra ambient attributes appended to every span
+    and instant emitted from this domain while it runs (restored on
+    exit, nests).  This is how a correlation id set once at dispatch
+    reaches spans deep inside the fixpoint loops.  Domain-local: child
+    domains must re-install the context (capture [current_attrs]). *)
+
+val current_attrs : unit -> (string * Json.t) list
+(** The calling domain's active ambient attributes (outermost first). *)
+
 val with_span :
   t -> ?cat:string -> ?args:(unit -> (string * Json.t) list) -> string ->
   (unit -> 'a) -> 'a
 (** Run the thunk inside a named span.  [args] is only evaluated when a
     sink is installed, so argument construction is free when tracing is
     off. *)
+
+val span_at :
+  t -> ?cat:string -> ?args:(unit -> (string * Json.t) list) -> string ->
+  ts_ns:int64 -> dur_ns:int64 -> unit
+(** Report a region that was timed externally, e.g. a queue wait
+    measured between submission and dispatch.  [ts_ns] must come from
+    the same monotonic clock as [Clock.now_ns]. *)
 
 val instant :
   t -> ?cat:string -> ?args:(unit -> (string * Json.t) list) -> string -> unit
@@ -83,4 +103,6 @@ val jsonl_sink : t -> out_channel -> sink
 val chrome_sink : t -> out_channel -> sink
 (** Chrome [trace_event] array ("ph":"X" complete events, microsecond
     timestamps) loadable in chrome://tracing and Perfetto.  [flush]
-    closes the array. *)
+    closes the array.  Events carrying a ["job"] attribute are laid out
+    on a per-job named track instead of their domain's track, so one
+    job's spans line up even across retries on different workers. *)

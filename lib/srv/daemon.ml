@@ -22,6 +22,9 @@ type config = {
   workers : int;
   queue_capacity : int;
   checkpoint_dir : string option;
+  trace_dir : string option;
+      (* where per-job span files land for "trace": true jobs; falls
+         back to checkpoint_dir, then the system temp dir *)
   default_deadline_s : float option;
   hang_timeout_s : float;
   max_total_live : int option;
@@ -37,6 +40,7 @@ let default_config =
     workers = 2;
     queue_capacity = 16;
     checkpoint_dir = None;
+    trace_dir = None;
     default_deadline_s = None;
     hang_timeout_s = 10.0;
     max_total_live = None;
@@ -57,6 +61,11 @@ type client = {
   mutable in_open : bool;
       (* stdio only: EOF on stdin closes the request side while events
          keep flowing to stdout until the drain completes *)
+  mutable watch_interval : float option;
+      (* Some s: stream a metrics delta event every s seconds *)
+  mutable watch_last : float;
+  mutable watch_prev : (string * float) list;
+      (* metric values at the last streamed frame, for the delta *)
 }
 
 type state = {
@@ -65,6 +74,7 @@ type state = {
   clients : (int, client) Hashtbl.t;
   frozen_cache : (string, Mc.Parallel.frozen) Hashtbl.t;
   draining : bool Atomic.t;
+  started_at : float;  (* monotonic, for uptime_s in health *)
   mutable next_cid : int;
   mutable next_seq : int;  (* distinct checkpoint path per admission *)
   mutable completions : float list;  (* for the jobs/sec window *)
@@ -183,19 +193,35 @@ let handle_submit st (c : client) (spec : Jobspec.t) =
       let deadline_at =
         Option.map (fun s -> Mc.Monotonic.now () +. s) deadline_s
       in
+      let seq = st.next_seq in
+      st.next_seq <- seq + 1;
+      (* The correlation id: assigned once here at admission, threaded
+         through every span, flight entry and protocol event of this
+         job, stable across retry attempts. *)
+      let trace_id = Printf.sprintf "icv-%d-%s" seq id in
       let checkpoint_path =
         Option.map
-          (fun dir ->
-            let seq = st.next_seq in
-            st.next_seq <- seq + 1;
-            Filename.concat dir (Printf.sprintf "job-%d.ckpt" seq))
+          (fun dir -> Filename.concat dir (Printf.sprintf "job-%d.ckpt" seq))
           st.cfg.checkpoint_dir
       in
+      let trace_path =
+        if not spec.Jobspec.trace then None
+        else
+          let dir =
+            match (st.cfg.trace_dir, st.cfg.checkpoint_dir) with
+            | Some d, _ -> d
+            | None, Some d -> d
+            | None, None -> Filename.get_temp_dir_name ()
+          in
+          Some (Filename.concat dir (Printf.sprintf "trace-%s.jsonl" trace_id))
+      in
       let job =
-        Pool.job ~spec ~frozen ~client:c.cid ~deadline_at ~checkpoint_path
+        Pool.job ~spec ~frozen ~client:c.cid ~trace_id ?trace_path ~deadline_at
+          ~checkpoint_path ()
       in
       (match Pool.submit st.pool job with
-      | Ok depth -> send_line c (Protocol.accepted ~id ~queue_depth:depth)
+      | Ok depth ->
+        send_line c (Protocol.accepted ~id ~trace_id ~queue_depth:depth)
       | Error reason -> reject st c ~id ~reason)
   end
 
@@ -208,7 +234,67 @@ let send_stats st c =
        ~live_nodes:(Pool.total_live st.pool)
        ~pressure:(Pool.pressure st.pool)
        ~jobs_done:(Pool.jobs_done st.pool)
-       ~jobs_per_s:(jobs_per_s st))
+       ~jobs_per_s:(jobs_per_s st)
+       ~latency:(Pool.latency st.pool))
+
+let send_health st c =
+  send_line c
+    (Protocol.health
+       ~uptime_s:(Mc.Monotonic.now () -. st.started_at)
+       ~queue_depth:(Pool.queue_depth st.pool)
+       ~outstanding:(Pool.outstanding st.pool)
+       ~busy_workers:(Pool.busy_workers st.pool)
+       ~workers:(Pool.workers st.pool)
+       ~live_nodes:(Pool.total_live st.pool)
+       ~max_total_live:(Option.value st.cfg.max_total_live ~default:0)
+       ~pressure:(Pool.pressure st.pool)
+       ~draining:(Atomic.get st.draining)
+       (Pool.slot_health st.pool))
+
+(* Flatten the registry snapshot into named float series for the watch
+   stream: counters and histogram count/sum move monotonically (their
+   deltas are rates), gauges are sampled levels. *)
+let metric_series () =
+  List.concat_map
+    (function
+      | Obs.Registry.Counter (n, v) -> [ (n, float_of_int v) ]
+      | Obs.Registry.Gauge (n, v) -> [ (n, v) ]
+      | Obs.Registry.Histogram (n, count, sum, _max, _buckets) ->
+        [ (n ^ ".count", float_of_int count); (n ^ ".sum", float_of_int sum) ])
+    (Obs.Registry.snapshot Obs.Registry.default)
+
+let send_watch_frame st (c : client) ~now =
+  let cur = metric_series () in
+  let delta =
+    List.filter_map
+      (fun (k, v) ->
+        let prev =
+          Option.value (List.assoc_opt k c.watch_prev) ~default:0.0
+        in
+        if v <> prev then Some (k, v -. prev) else None)
+      cur
+  in
+  let elapsed_s =
+    if c.watch_last = 0.0 then 0.0 else now -. c.watch_last
+  in
+  c.watch_prev <- cur;
+  c.watch_last <- now;
+  send_line c
+    (Protocol.metrics ~elapsed_s
+       ~queue_depth:(Pool.queue_depth st.pool)
+       ~busy_workers:(Pool.busy_workers st.pool)
+       ~pressure:(Pool.pressure st.pool)
+       ~delta)
+
+let tick_watchers st =
+  let now = Mc.Monotonic.now () in
+  Hashtbl.iter
+    (fun _ c ->
+      match c.watch_interval with
+      | Some ivl when c.alive && now -. c.watch_last >= ivl ->
+        send_watch_frame st c ~now
+      | _ -> ())
+    st.clients
 
 let handle_line st c line =
   let line = String.trim line in
@@ -216,7 +302,20 @@ let handle_line st c line =
     match Protocol.request_of_line line with
     | Error why -> send_line c (Protocol.error ~reason:why)
     | Ok (Protocol.Submit spec) -> handle_submit st c spec
-    | Ok Protocol.Stats -> send_stats st c
+    | Ok (Protocol.Stats Protocol.Json) -> send_stats st c
+    | Ok (Protocol.Stats Protocol.Prom) ->
+      send_line c
+        (Protocol.stats_prom
+           ~text:(Obs.Summary.to_prometheus Obs.Registry.default))
+    | Ok Protocol.Health -> send_health st c
+    | Ok (Protocol.Watch interval_s) ->
+      c.watch_interval <- Some interval_s;
+      c.watch_prev <- [];
+      c.watch_last <- 0.0;
+      (* immediate first frame: establishes the baseline and tells the
+         client the stream is live *)
+      send_watch_frame st c ~now:(Mc.Monotonic.now ())
+    | Ok Protocol.Unwatch -> c.watch_interval <- None
     | Ok Protocol.Ping -> send_line c Protocol.pong
     | Ok Protocol.Shutdown ->
       Atomic.set st.draining true;
@@ -269,33 +368,55 @@ let read_client st c =
 
 (* --- pool event routing ---------------------------------------------- *)
 
+(* The daemon-side latency split reported on the terminal event:
+   admission-to-dispatch (of the final attempt) and admission-to-now.
+   Both ends are on this process's monotonic clock, so no cross-host
+   clock games. *)
+let job_timing (job : Pool.job) =
+  let now = Mc.Monotonic.now () in
+  let queue_s =
+    if job.Pool.dispatched_at > 0.0 then
+      Float.max 0.0 (job.Pool.dispatched_at -. job.Pool.submitted_at)
+    else 0.0
+  in
+  (queue_s, Float.max 0.0 (now -. job.Pool.submitted_at))
+
 let route_event st = function
   | Pool.Progress (job, row) ->
     send_to st job.Pool.client
       (Protocol.progress ~id:job.Pool.spec.Jobspec.id row)
   | Pool.Requeued (job, reason) ->
     send_to st job.Pool.client
-      (Protocol.retry ~id:job.Pool.spec.Jobspec.id ~reason
-         ~attempt:job.Pool.attempt)
+      (Protocol.retry ~id:job.Pool.spec.Jobspec.id
+         ~trace_id:job.Pool.trace_id ~reason ~attempt:job.Pool.attempt)
   | Pool.Finished (job, worker, resumed_at, report) ->
     st.completions <- Mc.Monotonic.now () :: st.completions;
     Obs.Registry.set st.jps_gauge (jobs_per_s st);
     (match job.Pool.checkpoint_path with
     | Some p when Sys.file_exists p -> ( try Sys.remove p with Sys_error _ -> ())
     | _ -> ());
+    let queue_s, e2e_s = job_timing job in
     send_to st job.Pool.client
-      (Protocol.result ~id:job.Pool.spec.Jobspec.id ~worker ~resumed_at report)
+      (Protocol.result ~id:job.Pool.spec.Jobspec.id ~trace_id:job.Pool.trace_id
+         ?trace:job.Pool.trace_path ~queue_s ~e2e_s ~worker ~resumed_at report)
   | Pool.Batch_finished (job, worker, res, report) ->
     st.completions <- Mc.Monotonic.now () :: st.completions;
     Obs.Registry.set st.jps_gauge (jobs_per_s st);
     (match job.Pool.checkpoint_path with
     | Some p when Sys.file_exists p -> ( try Sys.remove p with Sys_error _ -> ())
     | _ -> ());
+    let queue_s, e2e_s = job_timing job in
     send_to st job.Pool.client
-      (Protocol.batch_result ~id:job.Pool.spec.Jobspec.id ~worker res report)
-  | Pool.Worker_died (sid, why) ->
+      (Protocol.batch_result ~id:job.Pool.spec.Jobspec.id
+         ~trace_id:job.Pool.trace_id ?trace:job.Pool.trace_path ~queue_s ~e2e_s
+         ~worker res report)
+  | Pool.Worker_died (sid, why, dump) ->
     Mc.Log.degraded ~what:"worker"
-      ~detail:(Printf.sprintf "worker %d died: %s; respawned" sid why)
+      ~detail:
+        (Printf.sprintf "worker %d died: %s; respawned%s" sid why
+           (match dump with
+           | Some path -> Printf.sprintf " (flight recorder: %s)" path
+           | None -> ""))
   | Pool.Worker_hung sid ->
     Mc.Log.degraded ~what:"worker"
       ~detail:(Printf.sprintf "worker %d unresponsive; cancelling" sid)
@@ -320,6 +441,9 @@ let accept_client st listen_fd =
         outbuf = Buffer.create 256;
         alive = true;
         in_open = true;
+        watch_interval = None;
+        watch_last = 0.0;
+        watch_prev = [];
       }
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
 
@@ -337,9 +461,20 @@ let run ?(on_ready = fun () -> ()) cfg =
       max_attempts = cfg.max_attempts;
       portfolio_domains = cfg.portfolio_domains;
       checkpoint_every = 1;
+      (* flight dumps land next to the checkpoints (or the traces) so a
+         post-mortem finds the black box beside the artifacts it
+         explains *)
+      flight_dir =
+        (match (cfg.checkpoint_dir, cfg.trace_dir) with
+        | Some d, _ -> Some d
+        | None, Some d -> Some d
+        | None, None -> None);
     }
   in
   (match cfg.checkpoint_dir with
+  | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+  | _ -> ());
+  (match cfg.trace_dir with
   | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
   | _ -> ());
   let pool = Pool.create ~config:pool_cfg ~queue_capacity:cfg.queue_capacity () in
@@ -351,6 +486,7 @@ let run ?(on_ready = fun () -> ()) cfg =
       clients = Hashtbl.create 8;
       frozen_cache = Hashtbl.create 8;
       draining;
+      started_at = Mc.Monotonic.now ();
       next_cid = 1;
       next_seq = 0;
       completions = [];
@@ -378,6 +514,9 @@ let run ?(on_ready = fun () -> ()) cfg =
         outbuf = Buffer.create 256;
         alive = true;
         in_open = true;
+        watch_interval = None;
+        watch_last = 0.0;
+        watch_prev = [];
       };
   on_ready ();
   let drained_notified = ref false in
@@ -406,13 +545,27 @@ let run ?(on_ready = fun () -> ()) cfg =
     in
     go ()
   in
+  (* First tick after the draining flag flips (SIGTERM, SIGINT, stdin
+     EOF or a shutdown request): preserve the recent-event ring before
+     the drain tears state down — "why was it killed" needs evidence —
+     and tell every client.  Called both at the top of the loop and on
+     the exit path, because an idle daemon exits within the very
+     iteration whose select the signal interrupted. *)
+  let note_draining () =
+    if Atomic.get st.draining && not !drained_notified then begin
+      drained_notified := true;
+      (match Pool.dump_flight st.pool ~trigger:("shutdown", []) with
+      | Some path ->
+        Mc.Log.degraded ~what:"daemon"
+          ~detail:(Printf.sprintf "draining; flight recorder: %s" path)
+      | None -> ());
+      Hashtbl.iter (fun _ c -> send_line c Protocol.draining) st.clients
+    end
+  in
   let rec loop () =
     reap_dead st;
     let accepting = (not (Atomic.get st.draining)) && listen_fd <> None in
-    if Atomic.get st.draining && not !drained_notified then begin
-      drained_notified := true;
-      Hashtbl.iter (fun _ c -> send_line c Protocol.draining) st.clients
-    end;
+    note_draining ();
     let fds =
       (if accepting then Option.to_list listen_fd else [])
       @ Hashtbl.fold
@@ -454,8 +607,10 @@ let run ?(on_ready = fun () -> ()) cfg =
       writable;
     Pool.supervise st.pool;
     List.iter (route_event st) (Pool.poll st.pool);
+    tick_watchers st;
     Obs.Registry.set st.jps_gauge (jobs_per_s st);
     if Atomic.get st.draining && Pool.idle st.pool then begin
+      note_draining ();
       (* Drain complete: flush any last events and stop. *)
       List.iter (route_event st) (Pool.poll st.pool);
       Pool.shutdown st.pool;

@@ -19,6 +19,11 @@ type config = {
   checkpoint_dir : string option;
       (** enables checkpoint-backed resume for XICI jobs; one file per
           admission, deleted when the job resolves *)
+  trace_dir : string option;
+      (** where per-job span-tree JSONL files land for jobs submitted
+          with ["trace": true]; falls back to [checkpoint_dir], then
+          the system temp dir.  Flight-recorder dumps also land in
+          [checkpoint_dir] (or here when no checkpoint dir is set). *)
   default_deadline_s : float option;
       (** applied to jobs that do not carry their own deadline *)
   hang_timeout_s : float;

@@ -1,0 +1,73 @@
+(* Flight recorder: a fixed-size lock-free ring of recent pool events
+   (admissions, dispatches, heartbeats, pressure transitions,
+   cancellations, crashes).  Recording is an Atomic fetch-and-add plus
+   one boxed-cell store, cheap enough to sit on the heartbeat path;
+   there is no reader/writer coordination because the reader (a crash
+   dump) tolerates losing the handful of entries being overwritten at
+   the instant of the dump — a black box, not an audit log.
+
+   Entries are immutable records published via [Atomic.set] on an
+   [entry option Atomic.t] cell, so a dump never observes a torn entry:
+   it sees the old one, the new one, or (transiently) None. *)
+
+type entry = {
+  seq : int;  (* global record order, monotonically increasing *)
+  ts : float;  (* Mc.Monotonic seconds *)
+  kind : string;
+  detail : (string * Obs.Json.t) list;
+}
+
+type t = {
+  slots : entry option Atomic.t array;
+  cursor : int Atomic.t;
+}
+
+let create ?(capacity = 512) () =
+  {
+    slots = Array.init (max 16 capacity) (fun _ -> Atomic.make None);
+    cursor = Atomic.make 0;
+  }
+
+let capacity t = Array.length t.slots
+
+let record t ~kind detail =
+  let seq = Atomic.fetch_and_add t.cursor 1 in
+  let e = { seq; ts = Mc.Monotonic.now (); kind; detail } in
+  Atomic.set t.slots.(seq mod Array.length t.slots) (Some e)
+
+(* Surviving entries in seq order (oldest first).  Concurrent writers
+   may be overwriting the oldest slots while we read; sorting by seq
+   keeps the result coherent regardless of which generation each slot
+   held when sampled. *)
+let entries t =
+  Array.to_list t.slots
+  |> List.filter_map Atomic.get
+  |> List.sort (fun a b -> compare a.seq b.seq)
+
+let entry_json e =
+  Obs.Json.Obj
+    ([
+       ("seq", Obs.Json.Int e.seq);
+       ("ts_s", Obs.Json.Float e.ts);
+       ("kind", Obs.Json.String e.kind);
+     ]
+    @ e.detail)
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Obs.Json.to_string (entry_json e));
+      Buffer.add_char buf '\n')
+    (entries t);
+  Buffer.contents buf
+
+(* Write-to-temp + rename so a dump interrupted by the very crash it is
+   recording cannot leave a half-written file that parses as complete. *)
+let dump t path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_jsonl t));
+  Sys.rename tmp path

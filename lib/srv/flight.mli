@@ -1,0 +1,37 @@
+(** Flight recorder: fixed-size lock-free ring of recent pool events,
+    dumped as JSONL on worker crash, hang-cancel or SIGTERM — a black
+    box for post-mortems, not an audit log (under concurrent writes a
+    dump may lose the entries being overwritten at that instant, and
+    nothing is persisted on SIGKILL).
+
+    Recording is one [Atomic.fetch_and_add] plus a boxed-cell store and
+    is safe from any domain; entries are immutable so a dump never
+    observes a torn record. *)
+
+type entry = {
+  seq : int;  (** global record order *)
+  ts : float;  (** [Mc.Monotonic] seconds *)
+  kind : string;
+  detail : (string * Obs.Json.t) list;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring of [capacity] slots (default 512, minimum 16). *)
+
+val capacity : t -> int
+
+val record : t -> kind:string -> (string * Obs.Json.t) list -> unit
+(** Append an event, overwriting the oldest once the ring is full. *)
+
+val entries : t -> entry list
+(** Surviving entries, oldest first. *)
+
+val to_jsonl : t -> string
+(** One JSON object per entry ([seq], [ts_s], [kind], plus detail
+    fields), oldest first. *)
+
+val dump : t -> string -> unit
+(** Write [to_jsonl] to a file via temp-file + rename, so an
+    interrupted dump never leaves a truncated file in place. *)

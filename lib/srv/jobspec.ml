@@ -51,6 +51,7 @@ type t = {
   max_live_nodes : int option;
   grow_threshold : float option;
   progress : bool;
+  trace : bool;
   fault : fault option;
 }
 
@@ -216,6 +217,7 @@ let of_json json =
       let* max_live_nodes = field_int_opt "max_live_nodes" json in
       let* grow_threshold = field_float_opt "grow_threshold" json in
       let* progress = field_bool ~default:false "progress" json in
+      let* trace = field_bool ~default:false "trace" json in
       let* fault =
         match Obs.Json.member "fault" json with
         | None -> Ok None
@@ -233,6 +235,7 @@ let of_json json =
           max_live_nodes;
           grow_threshold;
           progress;
+          trace;
           fault;
         }
   | _ -> Error "job must be a JSON object"
@@ -258,6 +261,7 @@ let to_json t =
       ("method", Obs.Json.String (meth_name t.meth));
       ("batch", Obs.Json.Bool t.batch);
       ("progress", Obs.Json.Bool t.progress);
+      ("trace", Obs.Json.Bool t.trace);
     ]
   in
   let opt name conv = function

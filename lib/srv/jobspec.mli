@@ -49,6 +49,10 @@ type t = {
   max_live_nodes : int option;
   grow_threshold : float option;
   progress : bool;  (** stream per-iteration progress events *)
+  trace : bool;
+      (** record this job's spans (queue wait, thaw, every fixpoint
+          iteration and image) into a per-job JSONL trace file whose
+          path the result event reports; render it with [icv explain] *)
   fault : fault option;
 }
 

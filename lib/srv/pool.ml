@@ -41,21 +41,31 @@ type job = {
   spec : Jobspec.t;
   frozen : Mc.Parallel.frozen;
   client : int;
+  trace_id : string;  (* stable across retries: assigned at admission *)
+  trace_path : string option;  (* per-job JSONL span file, if traced *)
   submitted_at : float;
   deadline_at : float option;
   checkpoint_path : string option;
+  mutable dispatched_at : float;
+      (* when the latest attempt left the queue; 0.0 before dispatch.
+         Written by the dispatching worker, read by the daemon after
+         the terminal event — never concurrently. *)
   mutable attempt : int;  (* 1-based; touched under the event lock *)
   mutable inflight : bool;  (* likewise *)
 }
 
-let job ~spec ~frozen ~client ~deadline_at ~checkpoint_path =
+let job ~spec ~frozen ~client ~trace_id ?trace_path ~deadline_at
+    ~checkpoint_path () =
   {
     spec;
     frozen;
     client;
+    trace_id;
+    trace_path;
     submitted_at = Mc.Monotonic.now ();
     deadline_at;
     checkpoint_path;
+    dispatched_at = 0.0;
     attempt = 1;
     inflight = true;
   }
@@ -68,7 +78,9 @@ type event =
   | Batch_finished of job * int * Mc.Batch.result * Mc.Report.t
       (* worker id, per-property outcome, aggregate report (the job's
          single wire verdict) *)
-  | Worker_died of int * string
+  | Worker_died of int * string * string option
+      (* worker id, cause, flight-recorder dump path if one was
+         written *)
   | Worker_hung of int
   | Worker_replaced of int
 
@@ -85,6 +97,10 @@ type slot = {
          supervisor's requeue paths carry the same stamp the worker
          got *)
   abandoned : bool Atomic.t;
+  fl_beat : float Atomic.t;
+      (* last time a heartbeat was recorded into the flight ring --
+         heartbeats fire per kernel progress step, far too often to
+         record raw, so they are throttled to ~4/s per slot *)
   mutable scratch : (string * Mc.Model.t) option;
       (* last thawed model, keyed by [Jobspec.model_key]: consecutive
          jobs on the same declaration reuse the manager instead of
@@ -99,6 +115,10 @@ type config = {
   max_attempts : int;
   portfolio_domains : int;
   checkpoint_every : int;
+  flight_dir : string option;
+      (* where flight-recorder dumps land (normally next to the
+         checkpoint dir); None disables dumping, the ring still
+         records *)
 }
 
 let default_config =
@@ -109,6 +129,7 @@ let default_config =
     max_attempts = 2;
     portfolio_domains = 2;
     checkpoint_every = 1;
+    flight_dir = None;
   }
 
 type t = {
@@ -124,13 +145,24 @@ type t = {
          and dispatch. *)
   mutable next_sid : int;
   mutable last_pressure : int;
+  flight : Flight.t;
+  mutable flight_seq : int;  (* dump file numbering; daemon thread only *)
   jobs_done : Obs.Registry.counter;
   crashes : Obs.Registry.counter;
   hangs : Obs.Registry.counter;
   requeues : Obs.Registry.counter;
   manager_reuses : Obs.Registry.counter;
   depth_gauge : Obs.Registry.gauge;
+  (* Latency split: time queued, time rebuilding the model, time in the
+     solver proper, and admission-to-verdict -- all in milliseconds so
+     the log2 buckets resolve the interesting 1ms..100s range. *)
+  queue_ms : Obs.Registry.histogram;
+  thaw_ms : Obs.Registry.histogram;
+  solve_ms : Obs.Registry.histogram;
+  e2e_ms : Obs.Registry.histogram;
 }
+
+let ms f = int_of_float (f *. 1e3)
 
 let emit t e =
   Mutex.lock t.ev_lock;
@@ -143,6 +175,40 @@ let poll t =
   Queue.clear t.events;
   Mutex.unlock t.ev_lock;
   List.rev out
+
+(* --- flight recorder -------------------------------------------------- *)
+
+let fl t ~kind detail = Flight.record t.flight ~kind detail
+
+let job_detail (job : job) =
+  [
+    ("job", Obs.Json.String job.spec.Jobspec.id);
+    ("trace_id", Obs.Json.String job.trace_id);
+    ("attempt", Obs.Json.Int job.attempt);
+  ]
+
+(* Record the triggering event, then dump the ring next to the
+   checkpoint dir — recording first keeps the trigger (crash, hang,
+   sigterm) the last event in the file, which is what a post-mortem
+   greps for.  Daemon thread only (the file-sequence counter is
+   unsynchronised); returns the path so the abort report can reference
+   its black box. *)
+let dump_flight t ~trigger:(kind, detail) =
+  fl t ~kind detail;
+  match t.cfg.flight_dir with
+  | None -> None
+  | Some dir ->
+    t.flight_seq <- t.flight_seq + 1;
+    let path =
+      Filename.concat dir (Printf.sprintf "flight-%d.jsonl" t.flight_seq)
+    in
+    (try
+       if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+       Flight.dump t.flight path;
+       Some path
+     with Sys_error _ | Unix.Unix_error _ -> None)
+
+let flight t = t.flight
 
 (* --- memory-pressure ladder ----------------------------------------- *)
 
@@ -178,6 +244,12 @@ let note_pressure t p =
         ~detail:
           (Printf.sprintf "memory pressure %d -> %d (%d live nodes)"
              t.last_pressure p (total_live t));
+    fl t ~kind:"pressure"
+      [
+        ("from", Obs.Json.Int t.last_pressure);
+        ("to", Obs.Json.Int p);
+        ("live", Obs.Json.Int (total_live t));
+      ];
     t.last_pressure <- p
   end;
   p
@@ -239,6 +311,10 @@ let finish t slot (job : job) ~attempt ~resumed_at ?batch report =
   if mine then begin
     Obs.Registry.incr t.jobs_done;
     Atomic.decr t.outstanding;
+    Obs.Registry.observe t.e2e_ms (ms (Mc.Monotonic.now () -. job.submitted_at));
+    fl t ~kind:"finish"
+      (job_detail job
+      @ [ ("status", Obs.Json.String (Mc.Report.status_string report)) ]);
     match batch with
     | Some res -> emit t (Batch_finished (job, slot.sid, res, report))
     | None -> emit t (Finished (job, slot.sid, resumed_at, report))
@@ -259,12 +335,16 @@ let requeue_or_fail t (job : job) ~attempt ~reason =
   if mine then
     if retry then begin
       Obs.Registry.incr t.requeues;
+      fl t ~kind:"requeue"
+        (job_detail job @ [ ("reason", Obs.Json.String reason) ]);
       emit t (Requeued (job, reason));
       Admission.push_urgent t.queue job
     end
     else begin
       Obs.Registry.incr t.jobs_done;
       Atomic.decr t.outstanding;
+      fl t ~kind:"fail"
+        (job_detail job @ [ ("reason", Obs.Json.String reason) ]);
       emit t
         (Finished
            ( job,
@@ -276,7 +356,50 @@ let requeue_or_fail t (job : job) ~attempt ~reason =
 
 (* --- running one job in a worker domain ----------------------------- *)
 
-let beat slot = Atomic.set slot.hb (Mc.Monotonic.now ())
+let beat t slot =
+  let now = Mc.Monotonic.now () in
+  Atomic.set slot.hb now;
+  (* Heartbeats fire per kernel progress step -- throttle the flight
+     record to ~4/s per slot (CAS so racing hooks record once). *)
+  let last = Atomic.get slot.fl_beat in
+  if now -. last >= 0.25 && Atomic.compare_and_set slot.fl_beat last now then
+    fl t ~kind:"beat"
+      [
+        ("worker", Obs.Json.Int slot.sid);
+        ("live", Obs.Json.Int (Atomic.get slot.live));
+      ]
+
+(* Per-job tracing context.  The ambient attributes carry the trace id
+   into every span emitted while the job runs -- including spans from
+   portfolio/batch child domains, which re-install them -- and a
+   ["trace": true] job additionally gets a JSONL sink on its own trace
+   file.  The file is opened in append mode and the tracer's epoch is
+   pinned to the job's admission time, so a checkpoint-backed retry
+   appends spans to the same file on the same timeline. *)
+let with_job_trace (job : job) ~attempt ~worker f =
+  let attrs =
+    [
+      ("trace_id", Obs.Json.String job.trace_id);
+      ("job", Obs.Json.String job.spec.Jobspec.id);
+      ("attempt", Obs.Json.Int attempt);
+      ("worker", Obs.Json.Int worker);
+    ]
+  in
+  Obs.Tracer.with_attrs attrs (fun () ->
+      match job.trace_path with
+      | None -> f (Obs.Tracer.global ())
+      | Some path -> (
+        match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+        | exception Sys_error _ -> f (Obs.Tracer.global ())
+        | oc ->
+          let epoch_ns = Int64.of_float (job.submitted_at *. 1e9) in
+          let tracer = Obs.Tracer.create ~epoch_ns () in
+          Obs.Tracer.add_sink tracer (Obs.Tracer.jsonl_sink tracer oc);
+          Fun.protect
+            ~finally:(fun () ->
+              Obs.Tracer.flush tracer;
+              close_out_noerr oc)
+            (fun () -> Obs.Tracer.with_global tracer (fun () -> f tracer))))
 
 let limits_for t (job : job) ~remaining ~pressure:p man =
   let max_live =
@@ -297,6 +420,17 @@ let run_job t slot (job : job) ~attempt =
     finish t slot job ~attempt ~resumed_at:0
       (failed_report job "deadline expired")
   | _ ->
+    with_job_trace job ~attempt ~worker:slot.sid @@ fun tracer ->
+    (* The queue wait was timed externally (admission to dispatch);
+       report it as a span at its true place on the timeline so the
+       trace tree starts at admission.  First attempt only: a retry's
+       wait starts at its requeue, which the urgent lane makes ~0. *)
+    if attempt = 1 then
+      Obs.Tracer.span_at tracer ~cat:"srv" "job.queue_wait"
+        ~ts_ns:(Int64.of_float (job.submitted_at *. 1e9))
+        ~dur_ns:
+          (Int64.of_float
+             (Float.max 0.0 (job.dispatched_at -. job.submitted_at) *. 1e9));
     let p = note_pressure t (pressure t) in
     (* Scratch-manager reuse: consecutive jobs on the same declaration
        skip the thaw and keep the previous job's unique/computed tables
@@ -313,29 +447,35 @@ let run_job t slot (job : job) ~attempt =
        hook waits until after the thaw: injection offsets are relative
        to the run proper, and a cancel landing mid-thaw gains nothing
        -- the thaw is bounded work). *)
+    let t_thaw = Mc.Monotonic.now () in
     let model =
-      match slot.scratch with
-      | Some (k, m) when k = key ->
-        Obs.Registry.incr t.manager_reuses;
-        beat slot;
-        m
-      | _ ->
-        let m =
-          Mc.Parallel.thaw
-            ?cache_budget:(thaw_cache_budget ~pressure:p)
-            ~on_manager:(fun m ->
-              Bdd.set_progress_hook m
-                (Some
-                   (fun m ->
-                     if not (Atomic.get slot.abandoned) then begin
-                       beat slot;
-                       Atomic.set slot.live (Bdd.live_nodes m)
-                     end)))
-            job.frozen
-        in
-        if p = 0 then slot.scratch <- Some (key, m);
-        m
+      Obs.Tracer.with_span tracer ~cat:"srv"
+        ~args:(fun () -> [ ("model_key", Obs.Json.String key) ])
+        "job.thaw"
+        (fun () ->
+          match slot.scratch with
+          | Some (k, m) when k = key ->
+            Obs.Registry.incr t.manager_reuses;
+            beat t slot;
+            m
+          | _ ->
+            let m =
+              Mc.Parallel.thaw
+                ?cache_budget:(thaw_cache_budget ~pressure:p)
+                ~on_manager:(fun m ->
+                  Bdd.set_progress_hook m
+                    (Some
+                       (fun m ->
+                         if not (Atomic.get slot.abandoned) then begin
+                           beat t slot;
+                           Atomic.set slot.live (Bdd.live_nodes m)
+                         end)))
+                job.frozen
+            in
+            if p = 0 then slot.scratch <- Some (key, m);
+            m)
     in
+    Obs.Registry.observe t.thaw_ms (ms (Mc.Monotonic.now () -. t_thaw));
     let man = Mc.Model.man model in
     let spec = job.spec in
     let resume_from =
@@ -385,7 +525,7 @@ let run_job t slot (job : job) ~attempt =
       (Some
          (fun row ->
            if not (Atomic.get slot.abandoned) then begin
-             beat slot;
+             beat t slot;
              (match inject with
              | Some { Jobspec.after_iterations = Some n; _ }
                when row.Obs.Iterlog.iteration >= n ->
@@ -403,7 +543,16 @@ let run_job t slot (job : job) ~attempt =
             spec.Jobspec.grow_threshold
         in
         let batch_res = ref None in
+        let t_solve = Mc.Monotonic.now () in
         let report =
+          Obs.Tracer.with_span tracer ~cat:"srv"
+            ~args:(fun () ->
+              [
+                ("method", Obs.Json.String (Jobspec.meth_name spec.Jobspec.meth));
+                ("resumed_at", Obs.Json.Int resumed_at);
+              ])
+            "job.solve"
+          @@ fun () ->
           match spec.Jobspec.meth with
           | Jobspec.Method meth when spec.Jobspec.batch -> (
             (* Batch job: one property per conjunct of the model's
@@ -451,12 +600,12 @@ let run_job t slot (job : job) ~attempt =
                   ~should_cancel:(fun () -> Atomic.get slot.cancel)
                   ~on_progress:(fun ~live ->
                     if not (Atomic.get slot.abandoned) then begin
-                      beat slot;
+                      beat t slot;
                       Atomic.set slot.live live
                     end)
                   ~iter_sink:(fun row ->
                     if not (Atomic.get slot.abandoned) then begin
-                      beat slot;
+                      beat t slot;
                       if spec.Jobspec.progress then
                         emit t (Progress (job, row))
                     end)
@@ -471,6 +620,8 @@ let run_job t slot (job : job) ~attempt =
             with Mc.Limits.Exceeded why ->
               failed_report job (Printf.sprintf "exceeded: %s" why))
         in
+        Obs.Registry.observe t.solve_ms (ms (Mc.Monotonic.now () -. t_solve));
+        Obs.Tracer.with_span tracer ~cat:"srv" "job.epilogue" @@ fun () ->
         if Atomic.get slot.abandoned then
           (* Zombie waking up: the supervisor already requeued this
              execution's job and replaced the slot.  Anything we could
@@ -511,7 +662,15 @@ let worker_loop t slot =
           Atomic.set slot.current (Some (job, attempt));
           Atomic.set slot.cancel false;
           Atomic.set slot.busy true;
-          beat slot;
+          beat t slot;
+          job.dispatched_at <- Mc.Monotonic.now ();
+          (* Queue time = admission to first dispatch; retries ride the
+             urgent lane and would only record ~0 samples. *)
+          if attempt = 1 then
+            Obs.Registry.observe t.queue_ms
+              (ms (job.dispatched_at -. job.submitted_at));
+          fl t ~kind:"dispatch"
+            (job_detail job @ [ ("worker", Obs.Json.Int slot.sid) ]);
           run_job t slot job ~attempt;
           (* Reached only on normal completion: a crash must leave
              [busy]/[current] set so the supervisor can requeue. *)
@@ -535,6 +694,7 @@ let make_slot t sid =
       dead = Atomic.make None;
       current = Atomic.make None;
       abandoned = Atomic.make false;
+      fl_beat = Atomic.make 0.0;
       scratch = None;
     }
   in
@@ -567,6 +727,12 @@ let create ?(config = default_config) ~queue_capacity () =
       requeues = Obs.Registry.counter reg "srv.requeues";
       manager_reuses = Obs.Registry.counter reg "srv.manager_reuses";
       depth_gauge = Obs.Registry.gauge reg "srv.queue_depth";
+      flight = Flight.create ();
+      flight_seq = 0;
+      queue_ms = Obs.Registry.histogram reg "srv.queue_ms";
+      thaw_ms = Obs.Registry.histogram reg "srv.thaw_ms";
+      solve_ms = Obs.Registry.histogram reg "srv.solve_ms";
+      e2e_ms = Obs.Registry.histogram reg "srv.e2e_ms";
     }
   in
   t.slots <-
@@ -580,7 +746,13 @@ let create ?(config = default_config) ~queue_capacity () =
 
 let submit t job =
   let r = Admission.try_push t.queue job in
-  (match r with Ok _ -> Atomic.incr t.outstanding | Error _ -> ());
+  (match r with
+  | Ok depth ->
+    Atomic.incr t.outstanding;
+    fl t ~kind:"admit" (job_detail job @ [ ("depth", Obs.Json.Int depth) ])
+  | Error reason ->
+    fl t ~kind:"reject"
+      (job_detail job @ [ ("reason", Obs.Json.String reason) ]));
   Obs.Registry.set t.depth_gauge (float_of_int (Admission.depth t.queue));
   r
 
@@ -596,6 +768,41 @@ let busy_workers t =
 let workers t = Array.length t.slots
 let idle t = Atomic.get t.outstanding = 0
 let jobs_done t = Obs.Registry.count t.jobs_done
+let outstanding t = Atomic.get t.outstanding
+
+type slot_health = {
+  sh_sid : int;
+  sh_busy : bool;
+  sh_live : int;
+  sh_silent_s : float;  (* seconds since last heartbeat *)
+  sh_job : string option;  (* id of the job being run, if busy *)
+}
+
+let slot_health t =
+  let now = Mc.Monotonic.now () in
+  Array.to_list t.slots
+  |> List.filter (fun s -> not (Atomic.get s.abandoned))
+  |> List.map (fun s ->
+         {
+           sh_sid = s.sid;
+           sh_busy = Atomic.get s.busy;
+           sh_live = Atomic.get s.live;
+           sh_silent_s = now -. Atomic.get s.hb;
+           sh_job =
+             Option.map
+               (fun ((j : job), _) -> j.spec.Jobspec.id)
+               (Atomic.get s.current);
+         })
+
+(* (name, p50, p90, p99) in milliseconds for each latency histogram. *)
+let latency t =
+  List.map
+    (fun h ->
+      ( Obs.Registry.histogram_name h,
+        Obs.Registry.histogram_percentile h 0.5,
+        Obs.Registry.histogram_percentile h 0.9,
+        Obs.Registry.histogram_percentile h 0.99 ))
+    [ t.queue_ms; t.thaw_ms; t.solve_ms; t.e2e_ms ]
 
 (* --- supervision ----------------------------------------------------- *)
 
@@ -614,11 +821,32 @@ let supervise t =
         | Some d -> ( try Domain.join d with _ -> ())
         | None -> ());
         Obs.Registry.incr t.crashes;
-        emit t (Worker_died (slot.sid, why));
+        (* Dump the black box with the crash as its last entry; the
+           requeue/abort reason references the dump so the failure
+           report leads straight to the post-mortem file. *)
+        let dump =
+          dump_flight t
+            ~trigger:
+              ( "worker_crash",
+                [
+                  ("worker", Obs.Json.Int slot.sid);
+                  ("why", Obs.Json.String why);
+                ]
+                @
+                match Atomic.get slot.current with
+                | Some (job, _) -> job_detail job
+                | None -> [] )
+        in
+        emit t (Worker_died (slot.sid, why, dump));
         (match Atomic.get slot.current with
         | Some (job, attempt) ->
-          requeue_or_fail t job ~attempt
-            ~reason:(Printf.sprintf "worker crashed: %s" why)
+          let reason =
+            match dump with
+            | Some path ->
+              Printf.sprintf "worker crashed: %s [flight: %s]" why path
+            | None -> Printf.sprintf "worker crashed: %s" why
+          in
+          requeue_or_fail t job ~attempt ~reason
         | None -> ());
         respawn t i
       | None ->
@@ -630,9 +858,25 @@ let supervise t =
                code.  Abandon the slot (zombie) and move on; the
                orphan domain is never joined. *)
             Atomic.set slot.abandoned true;
+            let dump =
+              dump_flight t
+                ~trigger:
+                  ( "worker_abandoned",
+                    [ ("worker", Obs.Json.Int slot.sid) ]
+                    @
+                    match Atomic.get slot.current with
+                    | Some (job, _) -> job_detail job
+                    | None -> [] )
+            in
             (match Atomic.get slot.current with
             | Some (job, attempt) ->
-              requeue_or_fail t job ~attempt ~reason:"worker hung (abandoned)"
+              let reason =
+                match dump with
+                | Some path ->
+                  Printf.sprintf "worker hung (abandoned) [flight: %s]" path
+                | None -> "worker hung (abandoned)"
+              in
+              requeue_or_fail t job ~attempt ~reason
             | None -> ());
             emit t (Worker_replaced slot.sid);
             respawn t i
@@ -641,6 +885,15 @@ let supervise t =
           then begin
             Atomic.set slot.cancel true;
             Obs.Registry.incr t.hangs;
+            ignore
+              (dump_flight t
+                 ~trigger:
+                   ( "hang_cancel",
+                     [ ("worker", Obs.Json.Int slot.sid) ]
+                     @
+                     match Atomic.get slot.current with
+                     | Some (job, _) -> job_detail job
+                     | None -> [] ));
             emit t (Worker_hung slot.sid)
           end
         end)

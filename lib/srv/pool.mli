@@ -42,9 +42,16 @@ type job = {
   spec : Jobspec.t;
   frozen : Mc.Parallel.frozen;
   client : int;  (** daemon client id the verdict routes back to *)
+  trace_id : string;
+      (** assigned at admission, stable across retries: the correlation
+          id every span and flight entry of this job carries *)
+  trace_path : string option;  (** per-job JSONL span file, if traced *)
   submitted_at : float;
   deadline_at : float option;  (** absolute, on the monotonic clock *)
   checkpoint_path : string option;
+  mutable dispatched_at : float;
+      (** when the latest attempt left the queue (0.0 before dispatch);
+          read it only after the job's terminal event *)
   mutable attempt : int;
   mutable inflight : bool;
 }
@@ -53,8 +60,11 @@ val job :
   spec:Jobspec.t ->
   frozen:Mc.Parallel.frozen ->
   client:int ->
+  trace_id:string ->
+  ?trace_path:string ->
   deadline_at:float option ->
   checkpoint_path:string option ->
+  unit ->
   job
 
 type event =
@@ -69,7 +79,9 @@ type event =
           {!Mc.Batch.result}, and the aggregate report that stands for
           the whole batch on the wire (first violated item's, else
           first exceeded, else proved) *)
-  | Worker_died of int * string
+  | Worker_died of int * string * string option
+      (** worker id, cause, flight-recorder dump path if one was
+          written *)
   | Worker_hung of int
   | Worker_replaced of int
 
@@ -81,11 +93,15 @@ type config = {
   max_attempts : int;  (** total attempts per job, first one included *)
   portfolio_domains : int;
   checkpoint_every : int;
+  flight_dir : string option;
+      (** where flight-recorder dumps land (the daemon points this next
+          to the checkpoint dir); [None] disables dumping — the ring
+          still records *)
 }
 
 val default_config : config
 (** 2 workers, 10s hang timeout, 2 attempts, checkpoint every
-    iteration, no memory cap. *)
+    iteration, no memory cap, no flight dir. *)
 
 type t
 
@@ -117,7 +133,39 @@ val idle : t -> bool
 (** No admitted job is unresolved — the drain-completion signal. *)
 
 val jobs_done : t -> int
+
+val outstanding : t -> int
+(** Admitted jobs not yet resolved (queued + inflight). *)
+
 val total_live : t -> int
+
+type slot_health = {
+  sh_sid : int;
+  sh_busy : bool;
+  sh_live : int;
+  sh_silent_s : float;  (** seconds since the worker's last heartbeat *)
+  sh_job : string option;  (** id of the job being run, if busy *)
+}
+
+val slot_health : t -> slot_health list
+(** Liveness of every non-abandoned worker slot, for the [health]
+    protocol request. *)
+
+val latency : t -> (string * float * float * float) list
+(** [(histogram_name, p50, p90, p99)] in milliseconds for the
+    queue/thaw/solve/end-to-end latency split. *)
+
+val flight : t -> Flight.t
+(** The pool's flight-recorder ring (admissions, dispatches, throttled
+    heartbeats, pressure transitions, cancellations, crash triggers). *)
+
+val dump_flight :
+  t -> trigger:(string * (string * Obs.Json.t) list) -> string option
+(** Record [trigger] as the ring's final entry, then dump the ring as
+    JSONL under [flight_dir], returning the file path ([None] if no
+    [flight_dir] or the write failed).  Daemon thread only.  Called
+    internally on worker crash, hang-cancel and zombie abandonment; the
+    daemon calls it on SIGTERM. *)
 
 val pressure : t -> int
 (** Memory-pressure level 0–3 against [max_total_live]: 1 shrinks

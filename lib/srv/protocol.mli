@@ -5,20 +5,31 @@
     the Unix socket and over stdin/stdout in the daemon's [--stdio]
     test mode. *)
 
+type stats_format =
+  | Json
+  | Prom  (** Prometheus text exposition, via {!stats_prom} *)
+
 type request =
   | Submit of Jobspec.t
-  | Stats
+  | Stats of stats_format
+  | Health  (** queue depths, inflight, per-worker liveness, pressure *)
+  | Watch of float
+      (** stream a [metrics] delta event every [interval_s] seconds
+          until [Unwatch] or disconnect *)
+  | Unwatch
   | Ping
   | Shutdown  (** begin draining, as if SIGTERM had arrived *)
 
 val request_of_line : string -> (request, string) result
 (** Parse one request line.  [{"type":"submit", ...job fields...}]
     submits; a bare job object (no ["type"]) is an implicit submit so a
-    file of jobs can be piped in unchanged. *)
+    file of jobs can be piped in unchanged.  [{"type":"stats",
+    "format":"prom"}] selects Prometheus exposition;
+    [{"type":"watch", "interval_s":0.5}] starts a metrics stream. *)
 
 (** {1 Server-to-client events} *)
 
-val accepted : id:string -> queue_depth:int -> Obs.Json.t
+val accepted : id:string -> trace_id:string -> queue_depth:int -> Obs.Json.t
 val rejected : id:string -> reason:string -> Obs.Json.t
 
 val error : reason:string -> Obs.Json.t
@@ -27,16 +38,37 @@ val error : reason:string -> Obs.Json.t
 val progress : id:string -> Obs.Iterlog.row -> Obs.Json.t
 (** Streamed per-iteration row, when the job asked for [progress]. *)
 
-val retry : id:string -> reason:string -> attempt:int -> Obs.Json.t
-(** The job's worker crashed or hung; the job was requeued. *)
+val retry :
+  id:string -> trace_id:string -> reason:string -> attempt:int -> Obs.Json.t
+(** The job's worker crashed or hung; the job was requeued.  The trace
+    id is the one assigned at admission — stable across attempts. *)
 
 val result :
-  id:string -> worker:int -> resumed_at:int -> Mc.Report.t -> Obs.Json.t
+  id:string ->
+  trace_id:string ->
+  ?trace:string ->
+  queue_s:float ->
+  e2e_s:float ->
+  worker:int ->
+  resumed_at:int ->
+  Mc.Report.t ->
+  Obs.Json.t
 (** Terminal verdict.  [resumed_at > 0] means this execution resumed
-    from a checkpoint at that iteration. *)
+    from a checkpoint at that iteration.  [trace] is the server-side
+    span-tree JSONL path when the job was submitted with
+    ["trace": true]; [queue_s]/[e2e_s] are the daemon-measured
+    admission-to-dispatch and admission-to-resolution latencies. *)
 
 val batch_result :
-  id:string -> worker:int -> Mc.Batch.result -> Mc.Report.t -> Obs.Json.t
+  id:string ->
+  trace_id:string ->
+  ?trace:string ->
+  queue_s:float ->
+  e2e_s:float ->
+  worker:int ->
+  Mc.Batch.result ->
+  Mc.Report.t ->
+  Obs.Json.t
 (** Terminal verdict for a batch job.  Same ["result"] event shape —
     ["verdict"]/["report"] are the aggregate that stands for the whole
     batch — plus a ["batch"] array of per-property
@@ -54,7 +86,42 @@ val stats :
   pressure:int ->
   jobs_done:int ->
   jobs_per_s:float ->
+  latency:(string * float * float * float) list ->
   Obs.Json.t
+(** [latency] rows are [(histogram, p50, p90, p99)] in milliseconds,
+    rendered as a ["latency"] object keyed by histogram name. *)
+
+val stats_prom : text:string -> Obs.Json.t
+(** The registry snapshot as Prometheus text exposition, carried as one
+    JSON string field (["prom"]) so the single-line event framing
+    holds; [icvd --client stats --format prom] unwraps it. *)
+
+val health :
+  uptime_s:float ->
+  queue_depth:int ->
+  outstanding:int ->
+  busy_workers:int ->
+  workers:int ->
+  live_nodes:int ->
+  max_total_live:int ->
+  pressure:int ->
+  draining:bool ->
+  Pool.slot_health list ->
+  Obs.Json.t
+(** Liveness snapshot: queue depth, inflight count, memory pressure,
+    uptime, and one ["slots"] entry per worker (busy flag, live nodes,
+    seconds since last heartbeat, current job id). *)
+
+val metrics :
+  elapsed_s:float ->
+  queue_depth:int ->
+  busy_workers:int ->
+  pressure:int ->
+  delta:(string * float) list ->
+  Obs.Json.t
+(** One frame of a [watch] stream: counter/gauge movement since the
+    previous frame (unchanged metrics omitted) plus the instantaneous
+    queue/pressure snapshot. *)
 
 val to_line : Obs.Json.t -> string
 (** Serialized event plus the trailing newline. *)

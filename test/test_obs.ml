@@ -132,6 +132,77 @@ let test_registry_histogram () =
         found)
     [ 1; 2; 3; 4; 1000 ]
 
+let test_registry_percentile () =
+  let reg = Obs.Registry.create () in
+  let h = Obs.Registry.histogram reg "test.pct" in
+  check "empty histogram is 0" true
+    (Obs.Registry.histogram_percentile h 0.5 = 0.0);
+  (* 100 samples of 1ms..100ms: the log2 estimate must stay within one
+     bucket width of the true quantile, and the top is clamped to the
+     observed max, never the bucket's upper bound. *)
+  for v = 1 to 100 do
+    Obs.Registry.observe h v
+  done;
+  let p50 = Obs.Registry.histogram_percentile h 0.5 in
+  let p99 = Obs.Registry.histogram_percentile h 0.99 in
+  check "p50 in its bucket" true (p50 >= 32.0 && p50 <= 64.0);
+  check "p99 above p50" true (p99 > p50);
+  check "p99 clamped to observed max" true (p99 <= 100.0);
+  check "q=1 is the max" true (Obs.Registry.histogram_percentile h 1.0 <= 100.0);
+  check "quantiles are monotone" true
+    (let qs = [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.99 ] in
+     let vs = List.map (Obs.Registry.histogram_percentile h) qs in
+     List.sort compare vs = vs);
+  (* out-of-range q clamps instead of raising *)
+  check "q<0 clamps" true (Obs.Registry.histogram_percentile h (-1.0) >= 0.0);
+  check "q>1 clamps" true (Obs.Registry.histogram_percentile h 2.0 <= 100.0);
+  (* a single-sample histogram reports that sample everywhere *)
+  let h1 = Obs.Registry.histogram reg "test.pct.one" in
+  Obs.Registry.observe h1 7;
+  check "single sample p50" true (Obs.Registry.histogram_percentile h1 0.5 <= 7.0)
+
+let test_registry_reset_hammer () =
+  (* Two domains hammer observe/incr while this one alternates reset
+     and snapshot reads: histogram_stats must never return a torn view
+     (bucket total <> count, or sum inconsistent with count * max) no
+     matter how resets interleave with observes. *)
+  let reg = Obs.Registry.create () in
+  let h = Obs.Registry.histogram reg "hammer.hist" in
+  let c = Obs.Registry.counter reg "hammer.count" in
+  let stop = Atomic.make false in
+  let writers =
+    List.init 2 (fun seed ->
+        Domain.spawn (fun () ->
+            let v = ref (seed + 1) in
+            while not (Atomic.get stop) do
+              Obs.Registry.observe h (!v land 1023);
+              Obs.Registry.incr c;
+              v := (!v * 7) + 13
+            done))
+  in
+  let checks = 5_000 in
+  for i = 1 to checks do
+    if i mod 50 = 0 then Obs.Registry.reset reg;
+    let count, sum, max_v, buckets = Obs.Registry.histogram_stats h in
+    let bucket_total = List.fold_left (fun a (_, n) -> a + n) 0 buckets in
+    if bucket_total <> count then
+      Alcotest.fail
+        (Printf.sprintf "torn stats: %d bucketed samples vs count %d"
+           bucket_total count);
+    if sum < 0 || count < 0 then Alcotest.fail "negative totals";
+    if sum > count * max 1 max_v then
+      Alcotest.fail
+        (Printf.sprintf "sum %d exceeds count %d * max %d" sum count max_v)
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join writers;
+  (* handles stay valid after the dust settles *)
+  Obs.Registry.reset reg;
+  Obs.Registry.observe h 3;
+  let count, sum, _, _ = Obs.Registry.histogram_stats h in
+  check_int "clean after hammer: count" 1 count;
+  check_int "clean after hammer: sum" 3 sum
+
 let test_registry_snapshot () =
   let reg = Obs.Registry.create () in
   Obs.Registry.incr (Obs.Registry.counter reg "b.second");
@@ -152,6 +223,72 @@ let test_registry_snapshot () =
   (* to_json must itself round-trip (bench artifacts embed it). *)
   let j = Obs.Registry.to_json reg in
   check "to_json round-trips" true (Obs.Json.equal j (roundtrip j))
+
+(* --- Prometheus exposition ------------------------------------------- *)
+
+let test_to_prometheus () =
+  let reg = Obs.Registry.create () in
+  Obs.Registry.add (Obs.Registry.counter reg "srv.jobs_done") 12;
+  Obs.Registry.set (Obs.Registry.gauge reg "bdd.live-nodes") 42.5;
+  let h = Obs.Registry.histogram reg "srv.e2e_ms" in
+  List.iter (Obs.Registry.observe h) [ 1; 3; 3; 200 ];
+  let text = Obs.Summary.to_prometheus reg in
+  let lines = String.split_on_char '\n' text in
+  let has sub = List.exists (fun l -> l = sub) lines in
+  check "counter TYPE line" true (has "# TYPE icv_srv_jobs_done counter");
+  check "counter sample" true (has "icv_srv_jobs_done 12");
+  (* names are sanitized to [a-zA-Z0-9_] and prefixed *)
+  check "gauge TYPE line" true (has "# TYPE icv_bdd_live_nodes gauge");
+  check "histogram TYPE line" true (has "# TYPE icv_srv_e2e_ms histogram");
+  (* buckets are cumulative and end at +Inf = count; upper bounds are
+     the log2 bucket boundaries, so sample 1 lands under le="2" *)
+  check "le=2 bucket" true (has {|icv_srv_e2e_ms_bucket{le="2"} 1|});
+  check "le=4 bucket is cumulative" true
+    (has {|icv_srv_e2e_ms_bucket{le="4"} 3|});
+  check "+Inf equals count" true
+    (has {|icv_srv_e2e_ms_bucket{le="+Inf"} 4|});
+  check "sum line" true (has "icv_srv_e2e_ms_sum 207");
+  check "count line" true (has "icv_srv_e2e_ms_count 4");
+  (* every sample's base name has exactly one TYPE line (the CI lint
+     enforces the same invariant on the live daemon's output) *)
+  let type_names =
+    List.filter_map
+      (fun l ->
+        match String.split_on_char ' ' l with
+        | [ "#"; "TYPE"; name; _kind ] -> Some name
+        | _ -> None)
+      lines
+  in
+  check "no duplicate TYPE lines" true
+    (List.sort_uniq compare type_names = List.sort compare type_names);
+  List.iter
+    (fun l ->
+      if l <> "" && l.[0] <> '#' then begin
+        let name = List.hd (String.split_on_char ' ' l) in
+        let name = List.hd (String.split_on_char '{' name) in
+        let base =
+          List.fold_left
+            (fun n suffix ->
+              if Filename.check_suffix n suffix then
+                Filename.chop_suffix n suffix
+              else n)
+            name
+            [ "_bucket"; "_sum"; "_count" ]
+        in
+        check (Printf.sprintf "sample %s has a TYPE line" name) true
+          (List.mem base type_names);
+        String.iter
+          (fun ch ->
+            if
+              not
+                ((ch >= 'a' && ch <= 'z')
+                || (ch >= 'A' && ch <= 'Z')
+                || (ch >= '0' && ch <= '9')
+                || ch = '_')
+            then Alcotest.fail (Printf.sprintf "bad metric name %s" name))
+          name
+      end)
+    lines
 
 (* --- Tracer ---------------------------------------------------------- *)
 
@@ -261,6 +398,82 @@ let test_tracer_chrome () =
           events
       | _ -> Alcotest.fail "chrome trace is not a JSON array")
 
+let test_tracer_ambient () =
+  with_temp_file (fun path ->
+      let tracer = Obs.Tracer.create () in
+      let oc = open_out path in
+      Obs.Tracer.add_sink tracer (Obs.Tracer.jsonl_sink tracer oc);
+      Obs.Tracer.with_attrs
+        [ ("trace_id", Obs.Json.String "t-9"); ("k", Obs.Json.Int 1) ]
+        (fun () ->
+          Obs.Tracer.with_span tracer "plain" (fun () -> ());
+          (* explicit args shadow the ambient key (member returns the
+             first binding) *)
+          Obs.Tracer.with_span tracer
+            ~args:(fun () -> [ ("k", Obs.Json.Int 2) ])
+            "shadowed"
+            (fun () -> ());
+          Obs.Tracer.instant tracer "tick";
+          (* nesting appends; the inner scope restores on exit *)
+          Obs.Tracer.with_attrs
+            [ ("inner", Obs.Json.Bool true) ]
+            (fun () -> Obs.Tracer.with_span tracer "nested" (fun () -> ())));
+      check "context restored outside the scope" true
+        (Obs.Tracer.current_attrs () = []);
+      Obs.Tracer.with_span tracer "outside" (fun () -> ());
+      (* a span timed externally lands at the requested place *)
+      Obs.Tracer.span_at tracer "external" ~ts_ns:0L ~dur_ns:5_000L;
+      Obs.Tracer.flush tracer;
+      close_out oc;
+      let parsed = List.map Obs.Json.of_string (read_lines path) in
+      let by_name n =
+        List.find
+          (fun j ->
+            Option.bind (Obs.Json.member "name" j) Obs.Json.to_str = Some n)
+          parsed
+      in
+      let arg n k =
+        Option.bind (Obs.Json.member "args" (by_name n)) (Obs.Json.member k)
+      in
+      check "span carries the ambient id" true
+        (arg "plain" "trace_id" = Some (Obs.Json.String "t-9"));
+      check "explicit args shadow ambient" true
+        (arg "shadowed" "k" = Some (Obs.Json.Int 2));
+      check "instants carry ambient attrs" true
+        (arg "tick" "trace_id" = Some (Obs.Json.String "t-9"));
+      check "nested scopes compose" true
+        (arg "nested" "inner" = Some (Obs.Json.Bool true)
+        && arg "nested" "trace_id" = Some (Obs.Json.String "t-9"));
+      check "outside the scope no attrs leak" true
+        (Obs.Json.member "args" (by_name "outside") = None);
+      let ext = by_name "external" in
+      let f k =
+        Option.bind (Obs.Json.member k ext) Obs.Json.to_float
+      in
+      check "span_at honors the given duration" true (f "dur_us" = Some 5.0))
+
+let test_tracer_ambient_across_domains () =
+  (* A child domain starts with an empty ambient context; re-installing
+     the parent's captured attrs (the Mc.Parallel / Srv.Pool pattern)
+     carries the correlation id across the spawn. *)
+  Obs.Tracer.with_attrs
+    [ ("trace_id", Obs.Json.String "t-dom") ]
+    (fun () ->
+      let captured = Obs.Tracer.current_attrs () in
+      let child =
+        Domain.spawn (fun () ->
+            let fresh = Obs.Tracer.current_attrs () in
+            let installed =
+              Obs.Tracer.with_attrs captured Obs.Tracer.current_attrs
+            in
+            (fresh, installed))
+      in
+      let fresh, installed = Domain.join child in
+      check "child domain starts clean" true (fresh = []);
+      check "captured attrs reinstall in the child" true
+        (List.assoc_opt "trace_id" installed
+        = Some (Obs.Json.String "t-dom")))
+
 (* --- Iterlog --------------------------------------------------------- *)
 
 let test_iterlog () =
@@ -364,13 +577,22 @@ let () =
         [
           Alcotest.test_case "counters and gauges" `Quick test_registry_counters;
           Alcotest.test_case "log2 histogram" `Quick test_registry_histogram;
+          Alcotest.test_case "percentile estimator" `Quick
+            test_registry_percentile;
+          Alcotest.test_case "reset vs concurrent observe" `Quick
+            test_registry_reset_hammer;
           Alcotest.test_case "snapshot and json" `Quick test_registry_snapshot;
+          Alcotest.test_case "prometheus exposition" `Quick test_to_prometheus;
         ] );
       ( "tracer",
         [
           Alcotest.test_case "disabled fast path" `Quick test_tracer_disabled;
           Alcotest.test_case "jsonl sink" `Quick test_tracer_jsonl;
           Alcotest.test_case "chrome sink" `Quick test_tracer_chrome;
+          Alcotest.test_case "ambient attributes and span_at" `Quick
+            test_tracer_ambient;
+          Alcotest.test_case "ambient context across domains" `Quick
+            test_tracer_ambient_across_domains;
         ] );
       ( "iterlog",
         [ Alcotest.test_case "record/rows/json" `Quick test_iterlog ] );

@@ -92,7 +92,18 @@ let test_requests () =
     | Error why -> Alcotest.fail (label ^ ": " ^ why)
   in
   check_req "ping" {|{"type":"ping"}|} Srv.Protocol.Ping;
-  check_req "stats" {|{"type":"stats"}|} Srv.Protocol.Stats;
+  check_req "stats" {|{"type":"stats"}|} (Srv.Protocol.Stats Srv.Protocol.Json);
+  check_req "stats prom" {|{"type":"stats","format":"prom"}|}
+    (Srv.Protocol.Stats Srv.Protocol.Prom);
+  check_req "health" {|{"type":"health"}|} Srv.Protocol.Health;
+  check_req "watch default interval" {|{"type":"watch"}|}
+    (Srv.Protocol.Watch 2.0);
+  check_req "watch custom interval" {|{"type":"watch","interval_s":0.5}|}
+    (Srv.Protocol.Watch 0.5);
+  check_req "unwatch" {|{"type":"unwatch"}|} Srv.Protocol.Unwatch;
+  (match Srv.Protocol.request_of_line {|{"type":"watch","interval_s":-1}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative watch interval accepted");
   check_req "shutdown" {|{"type":"shutdown"}|} Srv.Protocol.Shutdown;
   (match Srv.Protocol.request_of_line {|{"type":"submit","id":"x","model":{"family":"abp"}}|} with
   | Ok (Srv.Protocol.Submit j) ->
@@ -115,8 +126,10 @@ let test_event_shape () =
     Option.value ~default:"?"
       (Option.bind (Obs.Json.member "type" j) Obs.Json.to_str)
   in
-  Alcotest.(check string) "accepted tag" "accepted"
-    (tag (reparse (Srv.Protocol.accepted ~id:"a" ~queue_depth:3)));
+  let acc = reparse (Srv.Protocol.accepted ~id:"a" ~trace_id:"t-0" ~queue_depth:3) in
+  Alcotest.(check string) "accepted tag" "accepted" (tag acc);
+  Alcotest.(check bool) "accepted carries the trace id" true
+    (Obs.Json.member "trace_id" acc = Some (Obs.Json.String "t-0"));
   Alcotest.(check string) "rejected tag" "rejected"
     (tag (reparse (Srv.Protocol.rejected ~id:"a" ~reason:"queue full")));
   let report =
@@ -132,18 +145,30 @@ let test_event_shape () =
       time_s = 0.1;
     }
   in
-  let r = reparse (Srv.Protocol.result ~id:"a" ~worker:1 ~resumed_at:2 report) in
+  let r =
+    reparse
+      (Srv.Protocol.result ~id:"a" ~trace_id:"t-0" ~trace:"/tmp/t.jsonl"
+         ~queue_s:0.25 ~e2e_s:1.5 ~worker:1 ~resumed_at:2 report)
+  in
   Alcotest.(check string) "result tag" "result" (tag r);
   Alcotest.(check bool) "resumed flag follows resumed_at" true
     (Option.bind (Obs.Json.member "resumed" r) (function
        | Obs.Json.Bool b -> Some b
        | _ -> None)
     = Some true);
+  Alcotest.(check bool) "result carries the trace path" true
+    (Obs.Json.member "trace" r = Some (Obs.Json.String "/tmp/t.jsonl"));
+  Alcotest.(check bool) "result carries the latency split" true
+    (Obs.Json.member "queue_s" r <> None && Obs.Json.member "e2e_s" r <> None);
   let fresh =
-    reparse (Srv.Protocol.result ~id:"a" ~worker:1 ~resumed_at:0 report)
+    reparse
+      (Srv.Protocol.result ~id:"a" ~trace_id:"t-0" ~queue_s:0.0 ~e2e_s:0.1
+         ~worker:1 ~resumed_at:0 report)
   in
   Alcotest.(check bool) "cold run is not resumed" true
-    (Obs.Json.member "resumed" fresh = Some (Obs.Json.Bool false))
+    (Obs.Json.member "resumed" fresh = Some (Obs.Json.Bool false));
+  Alcotest.(check bool) "untraced result omits the trace field" true
+    (Obs.Json.member "trace" fresh = None)
 
 (* --- admission queue ------------------------------------------------- *)
 
@@ -476,6 +501,82 @@ let test_daemon_batch_job () =
     Alcotest.(check bool) "some property violated" true
       (List.exists (fun v -> contains ~sub:"violated" v) (item_verdicts r))
 
+let test_daemon_introspection () =
+  (* stats (JSON and Prometheus), health and watch round-trips over a
+     real socket, with work inflight so the numbers are live. *)
+  let jobs =
+    [
+      {|{"id":"introspect-1","model":{"family":"filter","depth":8}}|};
+      {|{"id":"introspect-2","model":{"family":"filter","depth":8}}|};
+    ]
+  in
+  let sock = tmp_sock () in
+  let events =
+    with_daemon (base_cfg sock) (fun () ->
+        talk sock
+          (jobs
+          @ [
+              {|{"type":"watch","interval_s":0.05}|};
+              {|{"type":"stats"}|};
+              {|{"type":"stats","format":"prom"}|};
+              {|{"type":"health"}|};
+              {|{"type":"unwatch"}|};
+              {|{"type":"shutdown"}|};
+            ]))
+  in
+  let stats_events = List.filter (fun j -> ev_type j = "stats") events in
+  let plain =
+    List.filter (fun j -> Obs.Json.member "prom" j = None) stats_events
+  in
+  let prom =
+    List.filter_map
+      (fun j -> Option.bind (Obs.Json.member "prom" j) Obs.Json.to_str)
+      stats_events
+  in
+  (match plain with
+  | [] -> Alcotest.fail "no JSON stats event"
+  | s :: _ ->
+    Alcotest.(check bool) "stats has queue_depth" true
+      (Obs.Json.member "queue_depth" s <> None);
+    (match Obs.Json.member "latency" s with
+    | Some (Obs.Json.Obj rows) ->
+      Alcotest.(check bool) "latency covers the e2e histogram" true
+        (List.mem_assoc "srv.e2e_ms" rows)
+    | _ -> Alcotest.fail "stats carries no latency object"));
+  (match prom with
+  | [] -> Alcotest.fail "no Prometheus stats event"
+  | text :: _ ->
+    Alcotest.(check bool) "prom text has TYPE lines" true
+      (contains ~sub:"# TYPE" text);
+    Alcotest.(check bool) "prom names are prefixed" true
+      (contains ~sub:"icv_" text);
+    Alcotest.(check bool) "latency histograms exported" true
+      (contains ~sub:"icv_srv_e2e_ms_bucket" text
+      || contains ~sub:"icv_srv_e2e_ms_count" text));
+  (match List.find_opt (fun j -> ev_type j = "health") events with
+  | None -> Alcotest.fail "no health event"
+  | Some h ->
+    Alcotest.(check bool) "health reports uptime" true
+      (match Option.bind (Obs.Json.member "uptime_s" h) Obs.Json.to_float with
+      | Some u -> u >= 0.0
+      | None -> false);
+    Alcotest.(check bool) "health reports inflight" true
+      (Obs.Json.member "inflight" h <> None);
+    (match Obs.Json.member "slots" h with
+    | Some (Obs.Json.List slots) ->
+      Alcotest.(check int) "one slot entry per worker"
+        Srv.Daemon.default_config.Srv.Daemon.workers (List.length slots)
+    | _ -> Alcotest.fail "health carries no slots array"));
+  (* The watch stream produced at least its immediate baseline frame. *)
+  Alcotest.(check bool) "watch streamed a metrics frame" true
+    (List.exists (fun j -> ev_type j = "metrics") events);
+  List.iter
+    (fun line ->
+      let id = (parse_job line).Srv.Jobspec.id in
+      if find_result id events = None then
+        Alcotest.fail (Printf.sprintf "no result for %s" id))
+    jobs
+
 let rm_rf_dir dir =
   if Sys.file_exists dir then begin
     Array.iter
@@ -528,9 +629,196 @@ let test_daemon_crash_resume () =
     Alcotest.(check (option string)) "verdict parity after recovery"
       (Some (Mc.Report.status_string oneshot))
       (ev_str "verdict" r));
-  Alcotest.(check bool) "checkpoint file deleted on resolution" true
-    ((not (Sys.file_exists ckpt_dir)) || Array.length (Sys.readdir ckpt_dir) = 0);
+  (* Flight-recorder dumps share the directory; only checkpoints must
+     be gone once every job resolved. *)
+  let leftover_ckpts =
+    if Sys.file_exists ckpt_dir then
+      List.filter
+        (fun f -> Filename.check_suffix f ".ckpt")
+        (Array.to_list (Sys.readdir ckpt_dir))
+    else []
+  in
+  Alcotest.(check (list string)) "checkpoint file deleted on resolution" []
+    leftover_ckpts;
   rm_rf_dir ckpt_dir
+
+let read_lines path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !lines
+
+let test_daemon_flight_dump () =
+  (* A worker crash must leave a parseable flight-recorder dump whose
+     last entry is the crash itself, and the retry reason must point at
+     the dump file. *)
+  let dir = tmp_sock () ^ ".flight.d" in
+  let cfg sock =
+    {
+      (base_cfg sock) with
+      Srv.Daemon.workers = 1;
+      checkpoint_dir = Some dir;
+      hang_timeout_s = 5.0;
+    }
+  in
+  let job =
+    {|{"id":"boom","model":{"family":"filter","depth":8},"fault":{"after_iterations":1,"action":"crash"}}|}
+  in
+  let sock = tmp_sock () in
+  let events =
+    with_daemon (cfg sock) (fun () ->
+        talk sock [ job; {|{"type":"shutdown"}|} ])
+  in
+  let retry =
+    List.find_opt
+      (fun j -> ev_type j = "retry" && ev_id j = Some "boom")
+      events
+  in
+  (match retry with
+  | None -> Alcotest.fail "crash produced no retry event"
+  | Some r ->
+    Alcotest.(check bool) "retry reason references the flight dump" true
+      (match ev_str "reason" r with
+      | Some why -> contains ~sub:"flight" why
+      | None -> false));
+  let dumps =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f >= 7 && String.sub f 0 7 = "flight-")
+    |> List.map (Filename.concat dir)
+  in
+  Alcotest.(check bool) "a flight dump was written" true (dumps <> []);
+  let crash_dump =
+    List.find_opt
+      (fun path ->
+        let lines = read_lines path in
+        lines <> []
+        &&
+        let last = Obs.Json.of_string (List.nth lines (List.length lines - 1)) in
+        Option.bind (Obs.Json.member "kind" last) Obs.Json.to_str
+        = Some "worker_crash")
+      dumps
+  in
+  (match crash_dump with
+  | None -> Alcotest.fail "no dump ends with the worker_crash trigger"
+  | Some path ->
+    let lines = read_lines path in
+    (* Every line parses, and the file saw the job's life before the
+       crash: admission and dispatch precede the trigger. *)
+    let entries = List.map Obs.Json.of_string lines in
+    let kinds =
+      List.filter_map
+        (fun j -> Option.bind (Obs.Json.member "kind" j) Obs.Json.to_str)
+        entries
+    in
+    Alcotest.(check int) "every entry carries a kind" (List.length lines)
+      (List.length kinds);
+    Alcotest.(check bool) "dump records the admission" true
+      (List.mem "admit" kinds);
+    Alcotest.(check bool) "dump records the dispatch" true
+      (List.mem "dispatch" kinds);
+    let last = List.nth entries (List.length entries - 1) in
+    Alcotest.(check bool) "crash entry names the job" true
+      (Obs.Json.member "job" last = Some (Obs.Json.String "boom")));
+  rm_rf_dir dir
+
+let test_daemon_trace_stability () =
+  (* A traced job that crashes and resumes must keep one trace id
+     across attempts, and its span file must be one coherent tree:
+     every span carries the trace id, both attempts' spans land in the
+     same file on the same timeline, and the queue-wait/thaw/solve
+     phases are all present. *)
+  let dir = tmp_sock () ^ ".trace.d" in
+  let cfg sock =
+    {
+      (base_cfg sock) with
+      Srv.Daemon.workers = 1;
+      checkpoint_dir = Some dir;
+      hang_timeout_s = 5.0;
+    }
+  in
+  let job =
+    {|{"id":"traced","model":{"family":"filter","depth":8},"trace":true,"fault":{"after_iterations":1,"action":"crash"}}|}
+  in
+  let sock = tmp_sock () in
+  let events =
+    with_daemon (cfg sock) (fun () ->
+        talk sock [ job; {|{"type":"shutdown"}|} ])
+  in
+  let tid_of ev = ev_str "trace_id" ev in
+  let accepted =
+    List.find_opt
+      (fun j -> ev_type j = "accepted" && ev_id j = Some "traced")
+      events
+  in
+  let retry =
+    List.find_opt
+      (fun j -> ev_type j = "retry" && ev_id j = Some "traced")
+      events
+  in
+  let result =
+    match find_result "traced" events with
+    | Some r -> r
+    | None -> Alcotest.fail "no result for the traced job"
+  in
+  let trace_id =
+    match tid_of result with
+    | Some t -> t
+    | None -> Alcotest.fail "result carries no trace id"
+  in
+  Alcotest.(check (option string)) "accepted and result share the trace id"
+    (Some trace_id)
+    (Option.bind accepted tid_of);
+  Alcotest.(check (option string)) "retry keeps the trace id"
+    (Some trace_id)
+    (Option.bind retry tid_of);
+  let path =
+    match ev_str "trace" result with
+    | Some p -> p
+    | None -> Alcotest.fail "result carries no trace path"
+  in
+  Alcotest.(check bool) "trace file exists" true (Sys.file_exists path);
+  let spans =
+    List.filter_map
+      (fun line ->
+        let j = Obs.Json.of_string line in
+        if Option.bind (Obs.Json.member "type" j) Obs.Json.to_str = Some "span"
+        then Some j
+        else None)
+      (read_lines path)
+  in
+  Alcotest.(check bool) "trace contains spans" true (spans <> []);
+  let span_attr field s =
+    Option.bind (Obs.Json.member "args" s) (Obs.Json.member field)
+  in
+  List.iter
+    (fun s ->
+      if span_attr "trace_id" s <> Some (Obs.Json.String trace_id) then
+        Alcotest.fail "a span is missing the trace id")
+    spans;
+  let named n = List.filter (fun s -> ev_str "name" s = Some n) spans in
+  Alcotest.(check bool) "queue wait span present" true
+    (named "job.queue_wait" <> []);
+  Alcotest.(check bool) "thaw span present" true (named "job.thaw" <> []);
+  Alcotest.(check bool) "per-iteration image spans present" true
+    (named "xici.iteration" <> []);
+  let attempts =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun s ->
+           match span_attr "attempt" s with
+           | Some (Obs.Json.Int a) -> Some a
+           | _ -> None)
+         (named "job.solve"))
+  in
+  Alcotest.(check bool) "both attempts traced into one file" true
+    (List.length attempts >= 2);
+  rm_rf_dir dir
 
 let () =
   Alcotest.run "srv"
@@ -567,5 +855,11 @@ let () =
             test_daemon_batch_job;
           Alcotest.test_case "crash, respawn, resume" `Quick
             test_daemon_crash_resume;
+          Alcotest.test_case "stats, health and watch round-trips" `Quick
+            test_daemon_introspection;
+          Alcotest.test_case "flight recorder dumps on crash" `Quick
+            test_daemon_flight_dump;
+          Alcotest.test_case "trace id stable across checkpoint retry" `Quick
+            test_daemon_trace_stability;
         ] );
     ]
